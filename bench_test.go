@@ -1,0 +1,324 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark per
+// figure, plus the scaling and ablation measurements reported in
+// EXPERIMENTS.md (tables E3 and E5). Run with:
+//
+//	go test -bench=. -benchmem ./...
+//
+// Figure benchmarks measure one slice computation (analysis reused,
+// which matches the intended usage: analyze once, slice many times);
+// the BenchmarkAnalyze series measures analysis construction itself.
+package jumpslice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jumpslice/internal/baselines"
+	"jumpslice/internal/cdg"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/core"
+	"jumpslice/internal/dom"
+	"jumpslice/internal/dynslice"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/progen"
+	"jumpslice/internal/restructure"
+)
+
+// benchFigure runs the Figure 7 algorithm on a corpus figure,
+// asserting the paper's line set once so a buggy benchmark cannot
+// silently measure the wrong thing.
+func benchFigure(b *testing.B, f *paper.Figure) {
+	a, err := core.Analyze(f.Parse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+	s, err := a.Agrawal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got := s.Lines()
+	if len(got) != len(f.AgrawalLines) {
+		b.Fatalf("slice = %v, want %v", got, f.AgrawalLines)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Agrawal(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per example-program figure of the paper.
+
+func BenchmarkFigure01(b *testing.B) { benchFigure(b, paper.Fig1()) }
+func BenchmarkFigure03(b *testing.B) { benchFigure(b, paper.Fig3()) }
+func BenchmarkFigure05(b *testing.B) { benchFigure(b, paper.Fig5()) }
+func BenchmarkFigure08(b *testing.B) { benchFigure(b, paper.Fig8()) }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, paper.Fig10()) }
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, paper.Fig14()) }
+func BenchmarkFigure16(b *testing.B) { benchFigure(b, paper.Fig16()) }
+
+// BenchmarkFigure02Graphs measures construction of every structure
+// behind the paper's graph figures (2, 4, 6, 9, 11, 15): flowgraph,
+// postdominator tree, dependence graphs and lexical successor tree.
+func BenchmarkFigure02Graphs(b *testing.B) {
+	for _, f := range paper.All() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			prog := f.Parse()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlgorithms compares every algorithm on the same program
+// (the paper's Figure 3-a for the general ones, Figure 5-a for the
+// structured-only ones) — the E3 comparison at paper scale.
+func BenchmarkAlgorithms(b *testing.B) {
+	goto3, err := core.Analyze(paper.Fig3().Parse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c3 := core.Criterion{Var: "positives", Line: 15}
+	cont5, err := core.Analyze(paper.Fig5().Parse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c5 := core.Criterion{Var: "positives", Line: 14}
+
+	cases := []struct {
+		name string
+		a    *core.Analysis
+		c    core.Criterion
+		run  func(*core.Analysis, core.Criterion) (*core.Slice, error)
+	}{
+		{"Conventional", goto3, c3, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Conventional(c) }},
+		{"Agrawal", goto3, c3, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Agrawal(c) }},
+		{"AgrawalLST", goto3, c3, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalLST(c) }},
+		{"Structured", cont5, c5, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalStructured(c) }},
+		{"Conservative", cont5, c5, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalConservative(c) }},
+		{"BallHorwitz", goto3, c3, baselines.BallHorwitz},
+		{"Lyle", goto3, c3, baselines.Lyle},
+		{"Gallagher", goto3, c3, baselines.Gallagher},
+		{"JiangZhouRobson", goto3, c3, baselines.JiangZhouRobson},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.run(tc.a, tc.c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// scalingSizes are the program sizes of the E3 sweep.
+var scalingSizes = []int{25, 100, 400, 1600}
+
+// BenchmarkScalingAgrawal measures the Figure 7 algorithm against
+// program size on the structured corpus.
+func BenchmarkScalingAgrawal(b *testing.B) {
+	benchScaling(b, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+		return a.Agrawal(c)
+	})
+}
+
+// BenchmarkScalingConventional is the conventional baseline's sweep.
+func BenchmarkScalingConventional(b *testing.B) {
+	benchScaling(b, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+		return a.Conventional(c)
+	})
+}
+
+// BenchmarkScalingConservative is the Figure 13 sweep, showing the
+// on-the-fly variant's overhead is essentially the conventional
+// algorithm's.
+func BenchmarkScalingConservative(b *testing.B) {
+	benchScaling(b, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+		return a.AgrawalConservative(c)
+	})
+}
+
+// BenchmarkScalingBallHorwitz is the augmented-PDG baseline's sweep.
+// Note Ball–Horwitz rebuilds the augmented graph per slice, which is
+// where its overhead against Agrawal comes from — the paper's
+// "leaves the flowgraph and the PDG intact" argument, measured.
+func BenchmarkScalingBallHorwitz(b *testing.B) {
+	benchScaling(b, baselines.BallHorwitz)
+}
+
+func benchScaling(b *testing.B, run func(*core.Analysis, core.Criterion) (*core.Slice, error)) {
+	for _, size := range scalingSizes {
+		size := size
+		b.Run(fmt.Sprintf("stmts=%d", size), func(b *testing.B) {
+			p := progen.Structured(progen.Config{Seed: 7, Stmts: size})
+			a, err := core.Analyze(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			crits := progen.WriteCriteria(p)
+			c := core.Criterion{Var: crits[len(crits)-1].Var, Line: crits[len(crits)-1].Line}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(a, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures analysis construction (flowgraph +
+// postdominators + dependence graphs + lexical successor tree)
+// against program size.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, size := range scalingSizes {
+		size := size
+		b.Run(fmt.Sprintf("stmts=%d", size), func(b *testing.B) {
+			p := progen.Structured(progen.Config{Seed: 7, Stmts: size})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDominatorsAblation compares the two dominator algorithms
+// (iterative Cooper–Harvey–Kennedy vs Lengauer–Tarjan) on the largest
+// sweep program — the substrate ablation DESIGN.md calls out.
+func BenchmarkDominatorsAblation(b *testing.B) {
+	p := progen.Structured(progen.Config{Seed: 7, Stmts: 1600})
+	a, err := core.Analyze(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := a.CFG
+	b.Run("iterative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dom.PostDominators(g, g.Exit.ID)
+		}
+	})
+	b.Run("lengauer-tarjan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dom.PostDominatorsLT(g, g.Exit.ID)
+		}
+	})
+}
+
+// BenchmarkTraversalDriverAblation compares the two search drivers the
+// paper says are interchangeable: preorder of the postdominator tree
+// vs preorder of the lexical successor tree, on the figure that needs
+// multiple traversals.
+func BenchmarkTraversalDriverAblation(b *testing.B) {
+	a, err := core.Analyze(paper.Fig10().Parse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.Criterion{Var: "y", Line: 9}
+	b.Run("pdt-preorder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Agrawal(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lst-preorder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AgrawalLST(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMaterialize measures slice-to-program projection.
+func BenchmarkMaterialize(b *testing.B) {
+	p := progen.Structured(progen.Config{Seed: 7, Stmts: 400})
+	a, err := core.Analyze(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crits := progen.WriteCriteria(p)
+	c := core.Criterion{Var: crits[len(crits)-1].Var, Line: crits[len(crits)-1].Line}
+	s, err := a.Agrawal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Materialize()
+	}
+}
+
+// BenchmarkCDGAblation compares the two control dependence
+// constructions (FOW edge walk vs Cytron postdominance frontiers).
+func BenchmarkCDGAblation(b *testing.B) {
+	p := progen.Structured(progen.Config{Seed: 7, Stmts: 400})
+	g, err := cfg.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdt := dom.PostDominators(g, g.Exit.ID)
+	b.Run("fow-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cdg.Build(g, pdt)
+		}
+	})
+	b.Run("postdominance-frontier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cdg.ParentsByPDF(g, pdt)
+		}
+	})
+}
+
+// BenchmarkExtensions measures the extension subsystems at paper
+// scale: the Choi–Ferrante flattener, the pc-loop restructurer, and
+// the dynamic slicer.
+func BenchmarkExtensions(b *testing.B) {
+	f := paper.Fig3()
+	a, err := core.Analyze(f.Parse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.Criterion{Var: "positives", Line: 15}
+	b.Run("choi-ferrante-flatten", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.ChoiFerranteExecutable(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restructure", func(b *testing.B) {
+		prog := f.Parse()
+		for i := 0; i < b.N; i++ {
+			if _, err := restructure.Program(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dynamic-slice", func(b *testing.B) {
+		in := []int64{3, -1, 4, 0, 5}
+		for i := 0; i < b.N; i++ {
+			if _, err := dynslice.Slice(a, c, dynslice.Options{Input: in}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("weiser", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baselines.Weiser(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Command paperfigs regenerates every figure of the paper from the
+// built-in corpus: the example program listings, the slices each
+// algorithm computes (Figures 1-b, 3-b/c, 5-b/c, 8-b/c, 10-b, 14-b/c,
+// 16-b/c), and — with -dot — the flowgraphs, postdominator trees,
+// control/data/program dependence graphs and lexical successor trees
+// of Figures 2, 4, 6, 9, 11 and 15 as Graphviz files.
+//
+// Usage:
+//
+//	paperfigs [-dot DIR] [-figure NAME] [-check]
+//
+// With -check, instead of printing listings, every figure's slices are
+// compared against the paper's published line sets and the command
+// exits nonzero on any mismatch — a one-shot reproduction check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jumpslice/internal/baselines"
+	"jumpslice/internal/core"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
+	dotDir := fs.String("dot", "", "write DOT graph files into this directory")
+	only := fs.String("figure", "", "restrict to one figure, e.g. \"Figure 3-a\"")
+	check := fs.Bool("check", false, "verify every figure against the paper's line sets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check {
+		return verify(out, *only)
+	}
+	for _, f := range paper.All() {
+		if *only != "" && f.Name != *only {
+			continue
+		}
+		if err := emit(out, f, *dotDir); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// verify compares every figure's computed slices to the paper's
+// published line sets.
+func verify(out io.Writer, only string) error {
+	failures := 0
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	report := func(figure, what string, got, want []int) {
+		if eq(got, want) {
+			fmt.Fprintf(out, "ok   %-12s %-28s %v\n", figure, what, got)
+			return
+		}
+		failures++
+		fmt.Fprintf(out, "FAIL %-12s %-28s got %v, paper %v\n", figure, what, got, want)
+	}
+	for _, f := range paper.All() {
+		if only != "" && f.Name != only {
+			continue
+		}
+		a, err := core.Analyze(f.Parse())
+		if err != nil {
+			return err
+		}
+		c := core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+		conv, err := a.Conventional(c)
+		if err != nil {
+			return err
+		}
+		report(f.Name, "conventional slice", conv.Lines(), f.ConventionalLines)
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			return err
+		}
+		report(f.Name, "Figure 7 slice", ag.Lines(), f.AgrawalLines)
+		if f.Structured {
+			st, err := a.AgrawalStructured(c)
+			if err != nil {
+				return err
+			}
+			report(f.Name, "Figure 12 slice", st.Lines(), f.StructuredLines)
+			cons, err := a.AgrawalConservative(c)
+			if err != nil {
+				return err
+			}
+			report(f.Name, "Figure 13 slice", cons.Lines(), f.ConservativeLines)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d figure checks failed", failures)
+	}
+	fmt.Fprintln(out, "all figures reproduce the paper")
+	return nil
+}
+
+func rule(out io.Writer, title string) {
+	fmt.Fprintf(out, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func emit(out io.Writer, f *paper.Figure, dotDir string) error {
+	prog := f.Parse()
+	a, err := core.Analyze(prog)
+	if err != nil {
+		return err
+	}
+	c := core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+
+	rule(out, fmt.Sprintf("%s — %s", f.Name, f.Description))
+	fmt.Fprintf(out, "criterion: %s    structured program: %v\n\n", c, f.Structured)
+	fmt.Fprint(out, lang.Format(prog, lang.PrintOptions{LineNumbers: true}))
+
+	emitSlice := func(label string, s *core.Slice, err error) {
+		fmt.Fprintf(out, "\n--- %s ---\n", label)
+		if err != nil {
+			fmt.Fprintf(out, "(not applicable: %v)\n", err)
+			return
+		}
+		fmt.Fprint(out, s.Format())
+		fmt.Fprintf(out, "lines: %v\n", s.Lines())
+		if s.Traversals > 0 {
+			fmt.Fprintf(out, "postdominator tree traversals: %d\n", s.Traversals)
+		}
+		for label, l := range s.RelabeledLines() {
+			fmt.Fprintf(out, "label %s re-attached to line %d\n", label, l)
+		}
+	}
+
+	conv, err := a.Conventional(c)
+	emitSlice("conventional slice (jump-unaware)", conv, err)
+	ag, err := a.Agrawal(c)
+	emitSlice("Figure 7 slice (the paper's algorithm)", ag, err)
+	st, err := a.AgrawalStructured(c)
+	emitSlice("Figure 12 slice (structured algorithm)", st, err)
+	cons, err := a.AgrawalConservative(c)
+	emitSlice("Figure 13 slice (conservative algorithm)", cons, err)
+	bh, err := baselines.BallHorwitz(a, c)
+	emitSlice("Ball–Horwitz slice (baseline)", bh, err)
+
+	if dotDir != "" && ag != nil {
+		if err := os.MkdirAll(dotDir, 0o755); err != nil {
+			return err
+		}
+		slug := strings.ReplaceAll(strings.ToLower(f.Name), " ", "_")
+		opts := viz.Options{Title: f.Name, LineLabels: true, Highlight: viz.SliceHighlight(ag)}
+		files := map[string]string{
+			"cfg": viz.CFG(a.CFG, opts),
+			"pdt": viz.Tree(a.CFG, a.PDT, opts),
+			"lst": viz.LST(a.CFG, a.LST, opts),
+			"cdg": viz.CDGGraph(a, opts),
+			"ddg": viz.DDGGraph(a, opts),
+			"pdg": viz.PDGGraph(a, opts),
+		}
+		for kind, dot := range files {
+			path := filepath.Join(dotDir, fmt.Sprintf("%s_%s.dot", slug, kind))
+			if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEmitsEveryFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 1-a", "Figure 3-a", "Figure 5-a", "Figure 8-a",
+		"Figure 10-a", "Figure 14-a", "Figure 16-a",
+		"conventional slice", "Figure 7 slice", "Ball–Horwitz slice",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFigureFilter(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "Figure 14-a"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 14-a") {
+		t.Error("missing requested figure")
+	}
+	if strings.Contains(out, "Figure 3-a") {
+		t.Error("filter leaked other figures")
+	}
+	// Figure 14's two slices must differ exactly as in the paper.
+	if !strings.Contains(out, "lines: [1 3 4 9]") {
+		t.Error("missing Figure 14-b line set")
+	}
+	if !strings.Contains(out, "lines: [1 3 4 5 7 9]") {
+		t.Error("missing Figure 14-c line set")
+	}
+}
+
+func TestDOTDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-figure", "Figure 10-a", "-dot", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"cfg", "pdt", "lst", "cdg", "ddg", "pdg"} {
+		path := filepath.Join(dir, "figure_10-a_"+kind+".dot")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing %s: %v", path, err)
+			continue
+		}
+		if !strings.HasPrefix(string(data), "digraph") {
+			t.Errorf("%s: not a DOT file", path)
+		}
+	}
+}
+
+func TestUnstructuredFiguresSkipStructuredAlgorithms(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "Figure 8-a"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "not applicable") {
+		t.Error("Figure 8 should mark the structured algorithms not applicable")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-check"}, &sb); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all figures reproduce the paper") {
+		t.Errorf("missing success line:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("check reported failures:\n%s", out)
+	}
+	// Every figure appears.
+	for _, want := range []string{"Figure 1-a", "Figure 3-a", "Figure 16-a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrecisionTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "precision", "-seeds", "8", "-stmts", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E1:", "conventional", "agrawal (Fig 7)", "lyle", "unstructured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("precision table missing %q", want)
+		}
+	}
+}
+
+func TestSoundnessTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "soundness", "-seeds", "6", "-stmts", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E2:") || !strings.Contains(out, "100.0%") {
+		t.Errorf("soundness table malformed:\n%s", out)
+	}
+}
+
+func TestTraversalsTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "traversals", "-seeds", "10", "-stmts", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E4:") || !strings.Contains(out, "traversals ×") {
+		t.Errorf("traversal table malformed:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("precision table not deterministic")
+	}
+}
+
+func TestDynamicTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "dynamic", "-seeds", "5", "-stmts", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E6:") || !strings.Contains(sb.String(), "dynamic") {
+		t.Errorf("dynamic table malformed:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module jumpslice
+
+go 1.22

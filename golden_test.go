@@ -1,0 +1,62 @@
+package jumpslice_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/paper"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden snapshots")
+
+// TestGoldenListings snapshots the full materialized-slice listings
+// (conventional and Figure 7) for every corpus figure. Any formatting
+// or slicing change that alters a listing shows up as a diff against
+// testdata/golden/; regenerate deliberately with
+//
+//	go test -run TestGoldenListings -update-golden .
+func TestGoldenListings(t *testing.T) {
+	for _, f := range paper.All() {
+		a, err := core.Analyze(f.Parse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+		conv, err := a.Conventional(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString("== " + f.Name + " — criterion " + c.String() + " ==\n")
+		sb.WriteString("\n-- conventional slice --\n")
+		sb.WriteString(conv.Format())
+		sb.WriteString("\n-- Figure 7 slice --\n")
+		sb.WriteString(ag.Format())
+
+		slug := strings.ReplaceAll(strings.ToLower(f.Name), " ", "_")
+		slug = strings.ReplaceAll(slug, "figure_", "fig")
+		path := filepath.Join("testdata", "golden", slug+".txt")
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", path, err)
+		}
+		if string(want) != sb.String() {
+			t.Errorf("%s: listing drifted from golden snapshot\n--- got ---\n%s\n--- want ---\n%s",
+				path, sb.String(), want)
+		}
+	}
+}

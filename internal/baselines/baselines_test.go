@@ -1,0 +1,250 @@
+package baselines
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/paper"
+)
+
+func analyzeFig(t *testing.T, f *paper.Figure) (*core.Analysis, core.Criterion) {
+	t.Helper()
+	a, err := core.Analyze(f.Parse())
+	if err != nil {
+		t.Fatalf("%s: %v", f.Name, err)
+	}
+	return a, core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+}
+
+// TestBallHorwitzMatchesAgrawalOnCorpus verifies the paper's central
+// equivalence claim (Section 3): "a statement is included in a slice
+// by this algorithm iff it is included in the corresponding slice
+// obtained using Ball and Horwitz's algorithm" — on every corpus
+// figure, at node granularity.
+func TestBallHorwitzMatchesAgrawalOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		a, c := analyzeFig(t, f)
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		bh, err := BallHorwitz(a, c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !reflect.DeepEqual(ag.StatementNodes(), bh.StatementNodes()) {
+			t.Errorf("%s: Agrawal nodes %v != Ball-Horwitz nodes %v\nAgrawal lines %v, BH lines %v",
+				f.Name, ag.StatementNodes(), bh.StatementNodes(), ag.Lines(), bh.Lines())
+		}
+	}
+}
+
+// TestLyleFig5 reproduces Section 5: "Lyle's algorithm will also
+// include the continue statement on line 11, and therefore the
+// predicate on line 9, in the slice" of Figure 5.
+func TestLyleFig5(t *testing.T) {
+	a, c := analyzeFig(t, paper.Fig5())
+	s, err := Lyle(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4, 5, 7, 8, 9, 11, 14}
+	if got := s.Lines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Lyle slice = %v, want %v", got, want)
+	}
+}
+
+// TestLyleFig3 reproduces Section 5: on Figure 3, Lyle includes "all
+// goto statements and all predicates", i.e. lines 7, 11, 13 and
+// predicate 9 beyond the precise slice.
+func TestLyleFig3(t *testing.T) {
+	a, c := analyzeFig(t, paper.Fig3())
+	s, err := Lyle(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, l := range s.Lines() {
+		got[l] = true
+	}
+	for _, l := range []int{3, 5, 7, 9, 11, 13} {
+		if !got[l] {
+			t.Errorf("Lyle slice missing jump/predicate line %d: %v", l, s.Lines())
+		}
+	}
+	// It must still be a superset of the precise slice.
+	ag, err := a.Agrawal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ag.Lines() {
+		if !got[l] {
+			t.Errorf("Lyle slice missing precise-slice line %d", l)
+		}
+	}
+}
+
+// TestLyleIsSupersetOfAgrawal: Lyle's rule is conservative — on every
+// corpus figure it contains the precise slice.
+func TestLyleIsSupersetOfAgrawal(t *testing.T) {
+	for _, f := range paper.All() {
+		a, c := analyzeFig(t, f)
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		ly, err := Lyle(a, c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		for _, id := range ag.StatementNodes() {
+			if !ly.Has(id) {
+				t.Errorf("%s: Lyle slice missing node %v", f.Name, a.CFG.Nodes[id])
+			}
+		}
+	}
+}
+
+// TestGallagherFig5 reproduces Section 5: Gallagher's rule "will
+// correctly omit the continue statement on line 11, and thus the
+// predicate on line 9" — on Figure 5 it matches the precise slice.
+func TestGallagherFig5(t *testing.T) {
+	f := paper.Fig5()
+	a, c := analyzeFig(t, f)
+	s, err := Gallagher(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lines(); !reflect.DeepEqual(got, f.AgrawalLines) {
+		t.Errorf("Gallagher slice = %v, want the precise slice %v", got, f.AgrawalLines)
+	}
+}
+
+// TestGallagherFailsFig16 reproduces the paper's Figure 16-b: the rule
+// "fails to include the jump statement on line 4 because no statement
+// in the block labeled L6 is included in the slice", yielding the
+// incorrect slice {1,2,3,5,10}.
+func TestGallagherFailsFig16(t *testing.T) {
+	f := paper.Fig16()
+	a, c := analyzeFig(t, f)
+	s, err := Gallagher(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 5, 10} // Figure 16-b — wrong, misses line 4
+	if got := s.Lines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Gallagher slice = %v, want the paper's incorrect %v", got, want)
+	}
+	// The correct slice (Figure 16-c) does include line 4.
+	ag, err := a.Agrawal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Lines(); !reflect.DeepEqual(got, f.AgrawalLines) {
+		t.Fatalf("Agrawal slice = %v, want %v", got, f.AgrawalLines)
+	}
+}
+
+// TestJZRFailsFig8 reproduces Section 5: the Jiang–Zhou–Robson rules
+// "will fail to include both jump statements on lines 11 and 13 in
+// the slice in Figure 8", while the goto on line 7 is handled.
+func TestJZRFailsFig8(t *testing.T) {
+	f := paper.Fig8()
+	a, c := analyzeFig(t, f)
+	s, err := JiangZhouRobson(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, l := range s.Lines() {
+		got[l] = true
+	}
+	if !got[7] {
+		t.Errorf("JZR should include the goto on line 7: %v", s.Lines())
+	}
+	if got[11] || got[13] {
+		t.Errorf("JZR should miss the jumps on lines 11 and 13: %v", s.Lines())
+	}
+}
+
+// TestJZRCorrectOnFig5: the reconstruction handles the continue
+// version correctly (the failure is specific to Figure 8's shape).
+func TestJZRCorrectOnFig5(t *testing.T) {
+	f := paper.Fig5()
+	a, c := analyzeFig(t, f)
+	s, err := JiangZhouRobson(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lines(); !reflect.DeepEqual(got, f.AgrawalLines) {
+		t.Errorf("JZR slice = %v, want %v", got, f.AgrawalLines)
+	}
+}
+
+// TestBallHorwitzJumpFree: on the jump-free Figure 1-a the augmented
+// graph has no extra edges and the slice equals the conventional one.
+func TestBallHorwitzJumpFree(t *testing.T) {
+	f := paper.Fig1()
+	a, c := analyzeFig(t, f)
+	bh, err := BallHorwitz(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bh.Lines(); !reflect.DeepEqual(got, f.ConventionalLines) {
+		t.Errorf("BH slice = %v, want %v", got, f.ConventionalLines)
+	}
+}
+
+// TestBaselinesRetargetLabels: baseline slices re-associate dangling
+// labels the same way the core algorithms do.
+func TestBaselinesRetargetLabels(t *testing.T) {
+	f := paper.Fig3()
+	a, c := analyzeFig(t, f)
+	bh, err := BallHorwitz(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bh.RelabeledLines(); !reflect.DeepEqual(got, f.RetargetedLabels) {
+		t.Errorf("BH retargeted labels = %v, want %v", got, f.RetargetedLabels)
+	}
+}
+
+// TestWeiserMatchesConventionalOnCorpus cross-validates the
+// PDG-based conventional engine against Weiser's original iterative
+// dataflow algorithm: two very different formulations must compute
+// the same slices.
+func TestWeiserMatchesConventionalOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		a, c := analyzeFig(t, f)
+		conv, err := a.Conventional(c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		w, err := Weiser(a, c)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !reflect.DeepEqual(conv.StatementNodes(), w.StatementNodes()) {
+			t.Errorf("%s: conventional %v != weiser %v",
+				f.Name, conv.Lines(), w.Lines())
+		}
+	}
+}
+
+// TestWeiserNeverAddsUnconditionalJumps: the paper's observation
+// about Weiser's algorithm — predicates yes, jumps no (beyond the
+// conditional-jump adaptation shared with the conventional engine).
+func TestWeiserNeverAddsUnconditionalJumps(t *testing.T) {
+	f := paper.Fig3()
+	a, c := analyzeFig(t, f)
+	w, err := Weiser(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range w.Lines() {
+		if l == 7 || l == 11 || l == 13 {
+			t.Errorf("Weiser slice %v contains unconditional jump line %d", w.Lines(), l)
+		}
+	}
+}

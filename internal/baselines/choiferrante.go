@@ -1,0 +1,349 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"jumpslice/internal/bits"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/core"
+	"jumpslice/internal/lang"
+)
+
+// Executable is the output of ChoiFerranteExecutable: a flat program
+// that is not a projection of the original — its control flow is
+// carried entirely by synthesized gotos — but computes the criterion
+// exactly like the original.
+type Executable struct {
+	// Prog is the synthesized program. Kept statements retain their
+	// original source positions, so criterion observation by
+	// (variable, line) works unchanged; synthesized gotos and labels
+	// have position 0.
+	Prog *lang.Program
+	// Kept is the set of original flowgraph node IDs whose statements
+	// appear in the program.
+	Kept *bits.Set
+	// SynthesizedJumps counts the gotos the generator inserted.
+	SynthesizedJumps int
+	// Criterion echoes the slicing criterion.
+	Criterion core.Criterion
+}
+
+// ChoiFerranteExecutable constructs an executable slice in the spirit
+// of Choi & Ferrante's second algorithm (paper, Section 5): instead of
+// keeping the original jump statements (and closing the slice over
+// their dependences), it keeps only the data statements and predicates
+// of the slice and synthesizes *new* goto statements so that the kept
+// statements execute in the original order. The result "need not be a
+// subprogram of the original program" — here it is a completely flat
+// goto program.
+//
+// Construction:
+//
+//  1. Compute the set S of needed non-jump statements: the backward
+//     closure of the criterion over the augmented program dependence
+//     graph (the Ball–Horwitz dependence structure, which makes
+//     statements guarded by jumps depend on the jumps' guards),
+//     keeping predicates and data statements but dropping the jump
+//     statements themselves — their control effect is resynthesized.
+//  2. For every S-node and branch outcome, compute the next S-node the
+//     original flowgraph reaches, walking through dropped nodes. With
+//     S closed under augmented control dependence this is unique: a
+//     dropped predicate both of whose branches can reach different
+//     S-nodes would have an S-node control dependent on it, forcing it
+//     into S. Pure delay cycles through dropped nodes (a loop
+//     containing no S-statements) are skipped — executing them cannot
+//     affect S.
+//  3. Emit the S-nodes in source order, each labeled, with a
+//     synthesized "goto" wherever the successor is not the next
+//     emitted statement; predicates become "if (cond) goto LT;" plus a
+//     fall-through or goto for the false side, and a switch becomes a
+//     tag-save plus a chain of equality dispatches.
+//
+// The returned program is validated by the package tests to reproduce
+// the original criterion observations on shared inputs.
+func ChoiFerranteExecutable(a *core.Analysis, c core.Criterion) (*Executable, error) {
+	bh, err := BallHorwitz(a, c)
+	if err != nil {
+		return nil, err
+	}
+	g := a.CFG
+
+	// Step 1: keep non-jump statement nodes of the BH slice.
+	kept := bits.New(g.NumNodes())
+	bh.Nodes.ForEach(func(id int) {
+		n := g.Nodes[id]
+		if n.Kind == cfg.KindEntry || n.Kind == cfg.KindExit || n.Kind.IsJump() || n.Kind == cfg.KindSkip {
+			return
+		}
+		kept.Add(id)
+	})
+
+	gen := &flattener{a: a, kept: kept, nextMemo: map[int]int{}}
+	prog, err := gen.emit()
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{
+		Prog:             prog,
+		Kept:             kept,
+		SynthesizedJumps: gen.synthesized,
+		Criterion:        c,
+	}, nil
+}
+
+// endSentinel marks "execution finishes" as a next-target.
+const endSentinel = -1
+
+// cycleSentinel marks "walking from here loops through dropped nodes
+// without reaching S" during next-target resolution.
+const cycleSentinel = -2
+
+type flattener struct {
+	a           *core.Analysis
+	kept        *bits.Set
+	nextMemo    map[int]int // nodeID -> next kept node (or endSentinel)
+	resolving   map[int]bool
+	synthesized int
+}
+
+// nextKept resolves the first kept node reached when control stands AT
+// node id (if id is kept, it is its own answer), or endSentinel.
+func (f *flattener) nextKept(id int) (int, error) {
+	if f.kept.Has(id) {
+		return id, nil
+	}
+	if id == f.a.CFG.Exit.ID {
+		return endSentinel, nil
+	}
+	if v, ok := f.nextMemo[id]; ok {
+		return v, nil
+	}
+	if f.resolving == nil {
+		f.resolving = map[int]bool{}
+	}
+	if f.resolving[id] {
+		return cycleSentinel, nil
+	}
+	f.resolving[id] = true
+	defer delete(f.resolving, id)
+
+	n := f.a.CFG.Nodes[id]
+	result := cycleSentinel
+	for _, e := range n.Out {
+		// Skip the virtual Entry→Exit edge; it is analysis-only.
+		if n.Kind == cfg.KindEntry && e.To == f.a.CFG.Exit.ID {
+			continue
+		}
+		t, err := f.nextKept(e.To)
+		if err != nil {
+			return 0, err
+		}
+		if t == cycleSentinel {
+			continue // pure-delay branch; the other branch decides
+		}
+		if result == cycleSentinel {
+			result = t
+		} else if result != t {
+			// Should be impossible when kept is closed under
+			// augmented control dependence; see the doc comment.
+			return 0, fmt.Errorf("baselines: dropped node %v reaches two kept nodes (%d, %d)",
+				n, result, t)
+		}
+	}
+	f.nextMemo[id] = result
+	return result, nil
+}
+
+// branchTarget resolves the kept node a specific outgoing edge leads
+// to.
+func (f *flattener) branchTarget(e cfg.Edge) (int, error) {
+	t, err := f.nextKept(e.To)
+	if err != nil {
+		return 0, err
+	}
+	if t == cycleSentinel {
+		// The branch disappears into a pure-delay loop whose only
+		// exits rejoin through this region; treat as end.
+		return endSentinel, nil
+	}
+	return t, nil
+}
+
+func labelFor(id int) string {
+	if id == endSentinel {
+		return "CFEND"
+	}
+	return fmt.Sprintf("CF%d", id)
+}
+
+// emit produces the flat program.
+func (f *flattener) emit() (*lang.Program, error) {
+	g := f.a.CFG
+
+	// Emission order: source order of kept nodes.
+	var order []int
+	f.kept.ForEach(func(id int) { order = append(order, id) })
+	sort.Slice(order, func(i, j int) bool {
+		a, b := g.Nodes[order[i]], g.Nodes[order[j]]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.ID < b.ID
+	})
+	followerOf := map[int]int{} // id -> id emitted right after, or endSentinel
+	for i, id := range order {
+		if i+1 < len(order) {
+			followerOf[id] = order[i+1]
+		} else {
+			followerOf[id] = endSentinel
+		}
+	}
+
+	var body []lang.Stmt
+	label := func(target int, st lang.Stmt) lang.Stmt {
+		return &lang.LabeledStmt{P: st.Pos(), Label: labelFor(target), Stmt: st}
+	}
+	jump := func(target int) lang.Stmt {
+		f.synthesized++
+		return &lang.GotoStmt{Label: labelFor(target)}
+	}
+	// gotoUnless emits a goto to target unless it is the natural
+	// fall-through.
+	gotoUnless := func(natural, target int) []lang.Stmt {
+		if natural == target {
+			return nil
+		}
+		return []lang.Stmt{jump(target)}
+	}
+
+	// Entry: jump to the first executed kept node if it is not the
+	// first emitted one.
+	entryNext, err := f.nextKept(g.Entry.ID)
+	if err != nil {
+		return nil, err
+	}
+	if entryNext == cycleSentinel {
+		entryNext = endSentinel
+	}
+	first := endSentinel
+	if len(order) > 0 {
+		first = order[0]
+	}
+	if entryNext != first {
+		body = append(body, jump(entryNext))
+	}
+
+	tagCounter := 0
+	for _, id := range order {
+		n := g.Nodes[id]
+		natural := followerOf[id]
+		switch n.Kind {
+		case cfg.KindAssign, cfg.KindRead, cfg.KindWrite:
+			// The statement, stripped of its original labels (control
+			// transfers are fully resynthesized).
+			st := lang.Unlabel(n.Stmt)
+			body = append(body, label(id, st))
+			target, err := f.branchTarget(n.Out[0])
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, gotoUnless(natural, target)...)
+		case cfg.KindPredicate:
+			cond := predicateCond(n.Stmt)
+			var tTarget, fTarget int
+			for _, e := range n.Out {
+				t, err := f.branchTarget(e)
+				if err != nil {
+					return nil, err
+				}
+				switch e.Label {
+				case "T":
+					tTarget = t
+				case "F":
+					fTarget = t
+				}
+			}
+			f.synthesized++
+			ifStmt := &lang.IfStmt{
+				P:    n.Stmt.Pos(),
+				Cond: cond,
+				Then: &lang.GotoStmt{Label: labelFor(tTarget)},
+			}
+			body = append(body, label(id, ifStmt))
+			body = append(body, gotoUnless(natural, fTarget)...)
+		case cfg.KindSwitch:
+			sw := lang.Unlabel(n.Stmt).(*lang.SwitchStmt)
+			tagCounter++
+			tmp := fmt.Sprintf("cftag%d", tagCounter)
+			body = append(body, label(id, &lang.AssignStmt{
+				P: n.Stmt.Pos(), Name: tmp, Value: sw.Tag,
+			}))
+			defaultTarget := endSentinel
+			haveDefault := false
+			type dispatch struct {
+				value  int64
+				target int
+			}
+			var dispatches []dispatch
+			for _, e := range n.Out {
+				t, err := f.branchTarget(e)
+				if err != nil {
+					return nil, err
+				}
+				if e.Label == "default" {
+					defaultTarget = t
+					haveDefault = true
+					continue
+				}
+				var v int64
+				fmt.Sscanf(e.Label, "%d", &v)
+				dispatches = append(dispatches, dispatch{value: v, target: t})
+			}
+			sort.Slice(dispatches, func(i, j int) bool { return dispatches[i].value < dispatches[j].value })
+			for _, d := range dispatches {
+				f.synthesized++
+				body = append(body, &lang.IfStmt{
+					Cond: &lang.BinaryExpr{Op: "==",
+						X: &lang.Ident{Name: tmp},
+						Y: &lang.IntLit{Value: d.value}},
+					Then: &lang.GotoStmt{Label: labelFor(d.target)},
+				})
+			}
+			if !haveDefault {
+				defaultTarget = endSentinel
+			}
+			body = append(body, gotoUnless(natural, defaultTarget)...)
+		default:
+			return nil, fmt.Errorf("baselines: cannot flatten node %v", n)
+		}
+	}
+
+	// Terminal label.
+	body = append(body, &lang.LabeledStmt{Label: labelFor(endSentinel), Stmt: &lang.EmptyStmt{}})
+
+	prog := &lang.Program{Body: body, Labels: map[string]*lang.LabeledStmt{}}
+	for _, st := range body {
+		if l, ok := st.(*lang.LabeledStmt); ok {
+			prog.Labels[l.Label] = l
+		}
+	}
+	// Round-trip through the printer/parser to validate
+	// well-formedness; keep the in-memory AST (original positions
+	// preserved) as the result.
+	if _, err := lang.Parse(lang.Format(prog, lang.PrintOptions{})); err != nil {
+		return nil, fmt.Errorf("baselines: synthesized program does not parse: %w", err)
+	}
+	return prog, nil
+}
+
+// predicateCond extracts the condition of an if or while statement.
+func predicateCond(s lang.Stmt) lang.Expr {
+	switch s := lang.Unlabel(s).(type) {
+	case *lang.IfStmt:
+		return s.Cond
+	case *lang.WhileStmt:
+		return s.Cond
+	}
+	panic(fmt.Sprintf("baselines: predicate node with %T", s))
+}

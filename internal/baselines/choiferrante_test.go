@@ -1,0 +1,200 @@
+package baselines
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/progen"
+)
+
+// cfRuns returns interpreter inputs/intrinsics per figure, matching
+// the core test harness.
+func cfInputs(f *paper.Figure) []interp.Options {
+	switch f.Name {
+	case "Figure 10-a":
+		var opts []interp.Options
+		for _, v := range []int64{0, 1} {
+			v := v
+			opts = append(opts, interp.Options{Intrinsics: map[string]interp.Intrinsic{
+				"c1": func([]int64) int64 { return v },
+			}})
+		}
+		return opts
+	case "Figure 14-a":
+		var opts []interp.Options
+		for _, v := range []int64{1, 2, 3, 9} {
+			v := v
+			opts = append(opts, interp.Options{Intrinsics: map[string]interp.Intrinsic{
+				"c": func([]int64) int64 { return v },
+			}})
+		}
+		return opts
+	default:
+		var opts []interp.Options
+		for _, in := range [][]int64{nil, {1}, {-1}, {3, -1, 4, 0, 5}, {-2, -2, 7, 7, -1, 6}} {
+			opts = append(opts, interp.Options{Input: in})
+		}
+		return opts
+	}
+}
+
+// TestChoiFerranteExecutableOnCorpus: the synthesized flat program
+// reproduces the criterion observations of every corpus figure on
+// every configured run — the executable-slice property.
+func TestChoiFerranteExecutableOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			a, c := analyzeFig(t, f)
+			ex, err := ChoiFerranteExecutable(a, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := f.Parse()
+			for _, opts := range cfInputs(f) {
+				wantOpts := opts
+				wantOpts.ObserveVar, wantOpts.ObserveLine = c.Var, c.Line
+				wantRes, err := interp.Run(orig, wantOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotOpts := opts
+				gotOpts.ObserveVar, gotOpts.ObserveLine = c.Var, c.Line
+				gotRes, err := interp.Run(ex.Prog, gotOpts)
+				if err != nil {
+					t.Fatalf("synthesized program: %v\n%s", err,
+						lang.Format(ex.Prog, lang.PrintOptions{}))
+				}
+				if !reflect.DeepEqual(gotRes.Observations, wantRes.Observations) {
+					t.Errorf("observations differ: synthesized %v, original %v\n%s",
+						gotRes.Observations, wantRes.Observations,
+						lang.Format(ex.Prog, lang.PrintOptions{}))
+				}
+			}
+		})
+	}
+}
+
+// TestChoiFerranteDropsOriginalJumps: no original unconditional jump
+// survives; control flow is fully resynthesized (every goto in the
+// output targets a CF label).
+func TestChoiFerranteDropsOriginalJumps(t *testing.T) {
+	f := paper.Fig3()
+	a, c := analyzeFig(t, f)
+	ex, err := ChoiFerranteExecutable(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lang.Format(ex.Prog, lang.PrintOptions{})
+	if strings.Contains(src, "goto L13") || strings.Contains(src, "goto L3;") {
+		t.Errorf("original labels survived:\n%s", src)
+	}
+	lang.WalkProgram(ex.Prog, func(s lang.Stmt) {
+		if g, ok := s.(*lang.GotoStmt); ok && !strings.HasPrefix(g.Label, "CF") {
+			t.Errorf("goto to non-synthesized label %q", g.Label)
+		}
+	})
+	if ex.SynthesizedJumps == 0 {
+		t.Error("expected synthesized jumps on the goto program")
+	}
+}
+
+// TestChoiFerranteKeptSubset: the kept statements are exactly the
+// non-jump statements of the Ball–Horwitz slice.
+func TestChoiFerranteKeptSubset(t *testing.T) {
+	f := paper.Fig8()
+	a, c := analyzeFig(t, f)
+	ex, err := ChoiFerranteExecutable(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := BallHorwitz(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Kept.ForEach(func(id int) {
+		if !bh.Has(id) {
+			t.Errorf("kept node %v outside the BH slice", a.CFG.Nodes[id])
+		}
+		if a.CFG.Nodes[id].Kind.IsJump() {
+			t.Errorf("kept node %v is a jump", a.CFG.Nodes[id])
+		}
+	})
+}
+
+// TestChoiFerrantePropertyOverGeneratedPrograms: the executable-slice
+// property over both random corpora.
+func TestChoiFerrantePropertyOverGeneratedPrograms(t *testing.T) {
+	inputs := [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}}
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 50; seed++ {
+				p := gen(progen.Config{Seed: seed, Stmts: 30})
+				a, err := core.Analyze(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crits := progen.WriteCriteria(p)
+				if len(crits) > 2 {
+					crits = crits[len(crits)-2:]
+				}
+				for _, wc := range crits {
+					c := core.Criterion{Var: wc.Var, Line: wc.Line}
+					ex, err := ChoiFerranteExecutable(a, c)
+					if err != nil {
+						t.Fatalf("seed %d %v: %v", seed, c, err)
+					}
+					for _, in := range inputs {
+						want, err := interp.Observe(p, in, c.Var, c.Line)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := interp.Observe(ex.Prog, in, c.Var, c.Line)
+						if err != nil {
+							t.Fatalf("seed %d %v input %v: %v\n%s", seed, c, in, err,
+								lang.Format(ex.Prog, lang.PrintOptions{}))
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("seed %d %v input %v: synthesized %v, original %v\n%s",
+								seed, c, in, got, want,
+								lang.Format(ex.Prog, lang.PrintOptions{}))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChoiFerranteFlatOutput: the synthesized program is flat — no
+// compound statement other than the dispatch ifs, whose branches are
+// single gotos.
+func TestChoiFerranteFlatOutput(t *testing.T) {
+	f := paper.Fig5()
+	a, c := analyzeFig(t, f)
+	ex, err := ChoiFerranteExecutable(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range ex.Prog.Body {
+		switch inner := lang.Unlabel(st).(type) {
+		case *lang.WhileStmt, *lang.SwitchStmt, *lang.BlockStmt:
+			t.Errorf("synthesized program contains compound %T", inner)
+		case *lang.IfStmt:
+			if _, ok := inner.Then.(*lang.GotoStmt); !ok {
+				t.Errorf("synthesized if branch is %T, want goto", inner.Then)
+			}
+			if inner.Else != nil {
+				t.Error("synthesized if has an else branch")
+			}
+		}
+	}
+}

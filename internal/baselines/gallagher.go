@@ -1,0 +1,179 @@
+package baselines
+
+import (
+	"sort"
+
+	"jumpslice/internal/bits"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/core"
+)
+
+// Gallagher computes the slice with Gallagher's rule [11]: a jump
+// statement "Goto L" is included only if (a) it lies between the
+// slice and the criterion (the Lyle candidate condition it refines),
+// (b) some statement in the block labeled L is in the slice, and (c)
+// the predicates the jump is directly control dependent on are in the
+// slice. break and continue are handled as gotos with implicit labels
+// — break targets the statement after its construct, continue the
+// loop predicate — and a return's target block is taken to be
+// trivially in the slice (it "targets" the program exit).
+//
+// A "block" is the maximal run of consecutive statements starting at
+// the label target and ending before the next labeled statement, which
+// is Gallagher's decomposition-slice block structure. The paper's
+// Section 5 shows the rule working on Figure 5 (it correctly omits the
+// continue on line 11) and failing on Figure 16 (it wrongly omits the
+// goto on line 4, because no statement of block L6 is in the slice).
+func Gallagher(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+	conv, err := a.Conventional(c)
+	if err != nil {
+		return nil, err
+	}
+	seeds, err := a.CriterionNodes(c)
+	if err != nil {
+		return nil, err
+	}
+	set := conv.Nodes
+	s := &core.Slice{
+		Analysis:  a,
+		Criterion: c,
+		Algorithm: "gallagher",
+		Nodes:     set,
+	}
+
+	reachesCriterion := reachesAny(a.CFG, seeds)
+	for changed := true; changed; {
+		changed = false
+		fromSlice := reachableFrom(a.CFG, set)
+		for _, j := range a.CFG.Jumps() {
+			if set.Has(j.ID) || !fromSlice[j.ID] || !reachesCriterion[j.ID] {
+				continue
+			}
+			if !predicatesInSlice(a, j.ID, set) {
+				continue
+			}
+			if !targetBlockInSlice(a, j, set) {
+				continue
+			}
+			set.Add(j.ID)
+			s.JumpsAdded = append(s.JumpsAdded, j.ID)
+			changed = true
+		}
+	}
+	s.Relabeled = a.RetargetLabels(set)
+	return s, nil
+}
+
+// predicatesInSlice reports whether every predicate the node is
+// directly control dependent on (ignoring the dummy entry node) is in
+// the slice.
+func predicatesInSlice(a *core.Analysis, id int, set *bits.Set) bool {
+	for _, p := range a.CDG.ParentIDs(id) {
+		n := a.CFG.Nodes[p]
+		if n.Kind == cfg.KindEntry {
+			continue
+		}
+		if !set.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// targetBlockInSlice reports whether some statement of the jump
+// target's block is in the slice.
+func targetBlockInSlice(a *core.Analysis, j *cfg.Node, set *bits.Set) bool {
+	if j.Kind == cfg.KindReturn {
+		return true // targets Exit; no block to demand
+	}
+	target := j.Target
+	if target == nil || target.Kind == cfg.KindExit {
+		return true
+	}
+	for _, id := range blockFrom(a, target) {
+		if set.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockFrom returns the node IDs of the lexical block starting at
+// start: consecutive statements in source order up to (not including)
+// the next statement carrying a label.
+func blockFrom(a *core.Analysis, start *cfg.Node) []int {
+	// Lexical statement order = ascending (line, node ID); the builder
+	// allocates IDs in lexical order, so ID order suffices.
+	var order []*cfg.Node
+	for _, n := range a.CFG.Nodes {
+		if n.Kind == cfg.KindEntry || n.Kind == cfg.KindExit {
+			continue
+		}
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, k int) bool { return order[i].ID < order[k].ID })
+
+	var out []int
+	in := false
+	for _, n := range order {
+		if n == start {
+			in = true
+			out = append(out, n.ID)
+			continue
+		}
+		if !in {
+			continue
+		}
+		if len(n.Labels) > 0 {
+			break
+		}
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+// JiangZhouRobson computes the slice with a reconstruction of the
+// Jiang–Zhou–Robson rules [18]: starting from the conventional slice,
+// include a jump statement when a predicate it is directly control
+// dependent on and its jump target are both in the slice. The
+// reconstruction reproduces the failure the paper reports: on Figure
+// 8, the jumps on lines 11 and 13 are control dependent on predicate
+// 9, which is not in the conventional slice, so both are missed.
+func JiangZhouRobson(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+	conv, err := a.Conventional(c)
+	if err != nil {
+		return nil, err
+	}
+	set := conv.Nodes
+	s := &core.Slice{
+		Analysis:  a,
+		Criterion: c,
+		Algorithm: "jiang-zhou-robson",
+		Nodes:     set,
+	}
+	for _, j := range a.CFG.Jumps() {
+		if set.Has(j.ID) {
+			continue
+		}
+		ctrlOK := false
+		for _, p := range a.CDG.ParentIDs(j.ID) {
+			n := a.CFG.Nodes[p]
+			if n.Kind != cfg.KindEntry && set.Has(p) {
+				ctrlOK = true
+			}
+		}
+		if !ctrlOK {
+			continue
+		}
+		// break/continue/return carry implicit dummy labels, per the
+		// paper's reading of the rule set; all four jump kinds check
+		// their target node uniformly.
+		target := j.Target
+		if target != nil && (target.Kind == cfg.KindExit || set.Has(target.ID)) {
+			set.Add(j.ID)
+			s.JumpsAdded = append(s.JumpsAdded, j.ID)
+		}
+	}
+	s.Relabeled = a.RetargetLabels(set)
+	return s, nil
+}

@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"jumpslice/internal/bits"
+	"jumpslice/internal/core"
+	"jumpslice/internal/dataflow"
+)
+
+// Weiser computes the slice with Weiser's original iterative dataflow
+// algorithm [29] — the formulation that predates program dependence
+// graphs. The paper's Section 5 opens with it: "His algorithm was able
+// to determine which predicates to include in the slice even when the
+// program contained jump statements. It did not, however, make any
+// attempt to determine the relevant jump statements themselves."
+//
+// The algorithm iterates two sets to a joint fixpoint:
+//
+//   - R(n): the variables relevant at (the entry of) node n. Seeded
+//     with the criterion variables at the criterion node and
+//     propagated backwards: across a node i with successor j,
+//     R(i) ⊇ (R(j) − DEF(i)) ∪ (REF(i) if DEF(i) ∩ R(j) ≠ ∅).
+//   - S: the slice — nodes whose definitions are relevant at some
+//     successor, plus branch statements whose range of influence
+//     (INFL, here: the statements directly control dependent on them)
+//     intersects S. Each such branch statement contributes its REF set
+//     as a new relevance seed (Weiser's level-k+1 criteria).
+//
+// DEF/REF include the input-cursor variable (finding F1 in
+// EXPERIMENTS.md), so Weiser and the PDG-based conventional algorithm
+// see the same dataflow. With INFL read as direct control dependence,
+// the two compute identical slices — which the tests use as an
+// independent cross-validation of the conventional engine. Like the
+// in-package Conventional, the result gets the conditional-jump
+// adaptation and the shared slice invariants, so the comparison is
+// node-for-node.
+func Weiser(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
+	seeds, err := a.CriterionNodes(c)
+	if err != nil {
+		return nil, err
+	}
+	g := a.CFG
+
+	// Variable universe (program variables plus the input cursor).
+	varIdx := map[string]int{}
+	addVar := func(v string) {
+		if _, ok := varIdx[v]; !ok {
+			varIdx[v] = len(varIdx)
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, v := range dataflow.DefsOf(n) {
+			addVar(v)
+		}
+		for _, v := range dataflow.UsesOf(n) {
+			addVar(v)
+		}
+	}
+	addVar(c.Var)
+	nv := len(varIdx)
+
+	toSet := func(names []string) *bits.Set {
+		s := bits.New(nv)
+		for _, v := range names {
+			s.Add(varIdx[v])
+		}
+		return s
+	}
+	def := make([]*bits.Set, g.NumNodes())
+	ref := make([]*bits.Set, g.NumNodes())
+	rel := make([]*bits.Set, g.NumNodes()) // R(n): relevant at entry of n
+	for i, n := range g.Nodes {
+		def[i] = toSet(dataflow.DefsOf(n))
+		ref[i] = toSet(dataflow.UsesOf(n))
+		rel[i] = bits.New(nv)
+	}
+
+	slice := bits.New(g.NumNodes())
+	seeded := bits.New(g.NumNodes()) // branch statements already used as criteria
+
+	// Seed: the criterion variable is relevant at the criterion
+	// node(s); a criterion node that uses the variable is itself in
+	// the slice (it is the statement being asked about).
+	for _, s := range seeds {
+		rel[s].Add(varIdx[c.Var])
+		rel[s].UnionWith(ref[s])
+		slice.Add(s)
+	}
+
+	propagate := func() {
+		// Backward dataflow to a fixpoint; the graphs are small, so a
+		// round-robin sweep is plenty.
+		tmp := bits.New(nv)
+		for changed := true; changed; {
+			changed = false
+			for i := g.NumNodes() - 1; i >= 0; i-- {
+				n := g.Nodes[i]
+				for _, e := range n.Out {
+					j := e.To
+					// R(i) ∪= R(j) − DEF(i)
+					tmp.Copy(rel[j])
+					tmp.DifferenceWith(def[i])
+					if rel[i].UnionWith(tmp) {
+						changed = true
+					}
+					// If i defines something relevant at j, i's
+					// references become relevant and i joins the
+					// slice.
+					tmp.Copy(def[i])
+					tmp.IntersectWith(rel[j])
+					if !tmp.Empty() {
+						if rel[i].UnionWith(ref[i]) {
+							changed = true
+						}
+						if !slice.Has(i) {
+							slice.Add(i)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Outer loop: propagate relevance, add influencing branch
+	// statements, seed their REF sets as new criteria, repeat.
+	for {
+		propagate()
+		grew := false
+		for _, b := range g.Nodes {
+			if !b.Kind.IsPredicate() || seeded.Has(b.ID) {
+				continue
+			}
+			influences := false
+			for _, child := range a.CDG.Children(b.ID) {
+				if slice.Has(child) {
+					influences = true
+					break
+				}
+			}
+			if !influences {
+				continue
+			}
+			seeded.Add(b.ID)
+			slice.Add(b.ID)
+			rel[b.ID].UnionWith(ref[b.ID])
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Shared invariants, exactly as the in-package Conventional
+	// applies them (dummy entry predicate, conditional-jump
+	// adaptation, switch enclosure).
+	slice.Add(g.Entry.ID)
+	a.NormalizeSlice(slice)
+
+	return &core.Slice{
+		Analysis:  a,
+		Criterion: c,
+		Algorithm: "weiser",
+		Nodes:     slice,
+		Relabeled: a.RetargetLabels(slice),
+	}, nil
+}

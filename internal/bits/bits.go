@@ -1,0 +1,180 @@
+// Package bits provides a dense bit set used by the dataflow and
+// slicing engines. Sets are fixed-capacity (sized at creation by node
+// count) and support the handful of operations iterative dataflow
+// needs: set/clear/test, union, intersection, difference, copy, and
+// ordered iteration.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New for a usable set.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set able to hold members 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bits.New: negative capacity %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Cap returns the capacity of the set (the n given to New).
+func (s *Set) Cap() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bits: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all members.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of other. The sets must have the
+// same capacity.
+func (s *Set) Copy(other *Set) {
+	s.sameCap(other)
+	copy(s.words, other.words)
+}
+
+func (s *Set) sameCap(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bits: capacity mismatch %d vs %d", s.n, other.n))
+	}
+}
+
+// UnionWith adds every member of other to s and reports whether s
+// changed. The changed report lets dataflow loops detect fixpoints
+// without comparing whole sets.
+func (s *Set) UnionWith(other *Set) bool {
+	s.sameCap(other)
+	changed := false
+	for i, w := range other.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes members of s not present in other.
+func (s *Set) IntersectWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// DifferenceWith removes every member of other from s.
+func (s *Set) DifferenceWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether s and other contain the same members.
+func (s *Set) Equal(other *Set) bool {
+	s.sameCap(other)
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each member in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in increasing order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package bits
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Errorf("new set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("after Add(%d), Has = false", i)
+		}
+	}
+	if got := s.Len(); got != 8 {
+		t.Errorf("Len = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Remove(64) did not remove")
+	}
+	if got := s.Len(); got != 7 {
+		t.Errorf("Len after remove = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", i)
+				}
+			}()
+			s.Add(i)
+		}()
+	}
+}
+
+func TestUnionWithReportsChange(t *testing.T) {
+	a, b := New(100), New(100)
+	b.Add(5)
+	b.Add(70)
+	if !a.UnionWith(b) {
+		t.Error("first union should report change")
+	}
+	if a.UnionWith(b) {
+		t.Error("second union should not report change")
+	}
+	if !a.Equal(b) {
+		t.Errorf("a = %v, want %v", a, b)
+	}
+}
+
+func TestIntersectAndDifference(t *testing.T) {
+	a, b := New(64), New(64)
+	for i := 0; i < 64; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 64; i += 3 {
+		b.Add(i)
+	}
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	inter.ForEach(func(i int) {
+		if i%6 != 0 {
+			t.Errorf("intersection contains %d", i)
+		}
+	})
+	diff := a.Clone()
+	diff.DifferenceWith(b)
+	diff.ForEach(func(i int) {
+		if i%2 != 0 || i%3 == 0 {
+			t.Errorf("difference contains %d", i)
+		}
+	})
+}
+
+func TestMembersOrderedAndString(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{190, 3, 64, 5} {
+		s.Add(i)
+	}
+	if got := s.Members(); !reflect.DeepEqual(got, []int{3, 5, 64, 190}) {
+		t.Errorf("Members = %v", got)
+	}
+	if got := s.String(); got != "{3, 5, 64, 190}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(32)
+	a.Add(1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Has(2) {
+		t.Error("mutating clone changed original")
+	}
+	a.Clear()
+	if !b.Has(1) {
+		t.Error("clearing original changed clone")
+	}
+	if !a.Empty() {
+		t.Error("Clear did not empty the set")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnionWith with mismatched capacity did not panic")
+		}
+	}()
+	New(10).UnionWith(New(20))
+}
+
+// Property: union is commutative and idempotent; difference then union
+// restores a superset relationship.
+func TestSetAlgebraProperties(t *testing.T) {
+	const n = 97 // deliberately not a multiple of 64
+	mk := func(xs []uint8) *Set {
+		s := New(n)
+		for _, x := range xs {
+			s.Add(int(x) % n)
+		}
+		return s
+	}
+	commutative := func(xs, ys []uint8) bool {
+		a1, b1 := mk(xs), mk(ys)
+		a1.UnionWith(b1)
+		a2, b2 := mk(xs), mk(ys)
+		b2.UnionWith(a2)
+		return a1.Equal(b2)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	idempotent := func(xs []uint8) bool {
+		a, b := mk(xs), mk(xs)
+		a.UnionWith(b)
+		return a.Equal(b)
+	}
+	if err := quick.Check(idempotent, nil); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+	lenConsistent := func(xs []uint8) bool {
+		s := mk(xs)
+		return s.Len() == len(s.Members())
+	}
+	if err := quick.Check(lenConsistent, nil); err != nil {
+		t.Errorf("Len inconsistent with Members: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package cdg
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dom"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/progen"
+)
+
+// build analyzes source into (cfg, pdt, cdg).
+func build(t *testing.T, src string) (*cfg.Graph, *Graph) {
+	t.Helper()
+	g, err := cfg.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdt := dom.PostDominators(g, g.Exit.ID)
+	return g, Build(g, pdt)
+}
+
+// nodeOfKind returns the node at the line with the given kind.
+func nodeOfKind(t *testing.T, g *cfg.Graph, line int, k cfg.Kind) *cfg.Node {
+	t.Helper()
+	for _, n := range g.NodesAtLine(line) {
+		if n.Kind == k {
+			return n
+		}
+	}
+	t.Fatalf("no %v node at line %d", k, line)
+	return nil
+}
+
+// parentLines maps a node's direct control dependences to source
+// lines; Entry becomes 0 (the paper's dummy predicate node 0).
+func parentLines(g *cfg.Graph, cd *Graph, id int) []int {
+	seen := map[int]bool{}
+	for _, p := range cd.ParentIDs(id) {
+		seen[g.Nodes[p].Line] = true // Entry has Line 0
+	}
+	out := make([]int, 0, len(seen))
+	for l := 0; l <= 1000; l++ {
+		if seen[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestFigure2ControlDependence checks the control dependence graph of
+// the paper's Figure 1-a program against Figure 2-c: the dummy entry
+// predicate (0) controls the top level, the while (3) controls itself
+// and lines 4–5, the if (5) controls 6–8, the inner if (8) controls
+// 9–10.
+func TestFigure2ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig1().Source)
+	want := map[int][]int{
+		1:  {0},
+		2:  {0},
+		3:  {0, 3},
+		4:  {3},
+		5:  {3},
+		6:  {5},
+		7:  {5},
+		8:  {5},
+		9:  {8},
+		10: {8},
+		11: {0},
+		12: {0},
+	}
+	for line, wantParents := range want {
+		n := g.NodesAtLine(line)[0]
+		if got := parentLines(g, cd, n.ID); !reflect.DeepEqual(got, wantParents) {
+			t.Errorf("line %d control deps = %v, want %v", line, got, wantParents)
+		}
+	}
+}
+
+// TestFigure4ControlDependence checks key control dependences of the
+// paper's Figure 3-a goto program against Figure 4-c: the jumps on
+// lines 7 and 11 depend on predicates 5 and 9 respectively, and the
+// shared "goto L3" on line 13 depends on the loop predicate 3 — not on
+// 9, because both branches of 9 reach it.
+func TestFigure4ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig3().Source)
+	cases := []struct {
+		line int
+		kind cfg.Kind
+		want []int
+	}{
+		{4, cfg.KindRead, []int{3}},
+		{6, cfg.KindAssign, []int{5}},
+		{7, cfg.KindGoto, []int{5}},
+		{8, cfg.KindAssign, []int{5}},
+		{10, cfg.KindAssign, []int{9}},
+		{11, cfg.KindGoto, []int{9}},
+		{12, cfg.KindAssign, []int{9}},
+		{13, cfg.KindGoto, []int{3}},
+		{14, cfg.KindWrite, []int{0}},
+		{15, cfg.KindWrite, []int{0}},
+	}
+	for _, c := range cases {
+		n := nodeOfKind(t, g, c.line, c.kind)
+		if got := parentLines(g, cd, n.ID); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("line %d (%v) control deps = %v, want %v", c.line, c.kind, got, c.want)
+		}
+	}
+}
+
+// TestFigure6ControlDependence checks the continue version (Figure
+// 5-a) against Figure 6-c: line 8 is control dependent on the if at
+// line 5 (the continue on 7 is what makes this true), and the
+// continues depend on their guarding predicates.
+func TestFigure6ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig5().Source)
+	cases := []struct {
+		line int
+		kind cfg.Kind
+		want []int
+	}{
+		{4, cfg.KindRead, []int{3}},
+		{5, cfg.KindPredicate, []int{3}},
+		{6, cfg.KindAssign, []int{5}},
+		{7, cfg.KindContinue, []int{5}},
+		{8, cfg.KindAssign, []int{5}},
+		{9, cfg.KindPredicate, []int{5}},
+		{10, cfg.KindAssign, []int{9}},
+		{11, cfg.KindContinue, []int{9}},
+		{12, cfg.KindAssign, []int{9}},
+		{13, cfg.KindWrite, []int{0}},
+	}
+	for _, c := range cases {
+		n := nodeOfKind(t, g, c.line, c.kind)
+		if got := parentLines(g, cd, n.ID); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("line %d (%v) control deps = %v, want %v", c.line, c.kind, got, c.want)
+		}
+	}
+}
+
+// TestFigure9ControlDependence checks Figure 8-a against Figure 9-c:
+// with direct jumps to L3, the goto on line 13 becomes control
+// dependent on predicate 9 (its inclusion is what later pulls 9 into
+// the slice).
+func TestFigure9ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig8().Source)
+	cases := []struct {
+		line int
+		kind cfg.Kind
+		want []int
+	}{
+		{7, cfg.KindGoto, []int{5}},
+		{11, cfg.KindGoto, []int{9}},
+		{13, cfg.KindGoto, []int{9}},
+	}
+	for _, c := range cases {
+		n := nodeOfKind(t, g, c.line, c.kind)
+		if got := parentLines(g, cd, n.ID); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("line %d (%v) control deps = %v, want %v", c.line, c.kind, got, c.want)
+		}
+	}
+}
+
+// TestFigure11ControlDependence checks Figure 10-a against Figure
+// 11-c: only lines 2 and 5 are control dependent on the if — every
+// other statement executes on both branches thanks to the goto
+// tangle.
+func TestFigure11ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig10().Source)
+	wantOn1 := map[int]bool{2: true, 5: true}
+	for _, n := range g.Nodes {
+		if n.Line == 0 || n.Line == 1 {
+			continue
+		}
+		pred := g.NodesAtLine(1)[0]
+		got := cd.DependsOn(n.ID, pred.ID)
+		if got != wantOn1[n.Line] {
+			t.Errorf("line %d depends on if(1): %v, want %v", n.Line, got, wantOn1[n.Line])
+		}
+	}
+}
+
+// TestFigure15ControlDependence checks Figure 14-a against Figure
+// 15-c: every case-body statement, including all three breaks, is
+// control dependent on the switch tag.
+func TestFigure15ControlDependence(t *testing.T) {
+	g, cd := build(t, paper.Fig14().Source)
+	sw := g.NodesAtLine(1)[0]
+	for _, line := range []int{2, 3, 4, 5, 6, 7} {
+		n := g.NodesAtLine(line)[0]
+		if !cd.DependsOn(n.ID, sw.ID) {
+			t.Errorf("line %d should be control dependent on the switch", line)
+		}
+	}
+	for _, line := range []int{8, 9, 10} {
+		n := g.NodesAtLine(line)[0]
+		if cd.DependsOn(n.ID, sw.ID) {
+			t.Errorf("line %d should not be control dependent on the switch", line)
+		}
+	}
+}
+
+func TestBranchLabels(t *testing.T) {
+	g, cd := build(t, "if (x > 0)\ny = 1;\nelse y = 2;\nwrite(y);")
+	pred := g.NodesAtLine(1)[0]
+	thenNode := g.NodesAtLine(2)[0]
+	elseNode := g.NodesAtLine(3)[0]
+	findLabel := func(n *cfg.Node) string {
+		for _, d := range cd.Parents(n.ID) {
+			if d.From == pred.ID {
+				return d.Label
+			}
+		}
+		return ""
+	}
+	if got := findLabel(thenNode); got != "T" {
+		t.Errorf("then-branch label = %q, want T", got)
+	}
+	if got := findLabel(elseNode); got != "F" {
+		t.Errorf("else-branch label = %q, want F", got)
+	}
+}
+
+func TestSwitchCaseLabels(t *testing.T) {
+	g, cd := build(t, "switch (c()) {\ncase 1: x = 1;\nbreak;\ncase 2: y = 2;\n}\nwrite(x);")
+	sw := g.NodesAtLine(1)[0]
+	x := g.NodesAtLine(2)[0]
+	var label string
+	for _, d := range cd.Parents(x.ID) {
+		if d.From == sw.ID {
+			label = d.Label
+		}
+	}
+	if label != "1" {
+		t.Errorf("case-1 body dependence label = %q, want \"1\"", label)
+	}
+}
+
+// TestLoopSelfDependence: a while header is control dependent on
+// itself (the back edge decides whether it runs again).
+func TestLoopSelfDependence(t *testing.T) {
+	g, cd := build(t, "while (x > 0)\nx = x - 1;\nwrite(x);")
+	w := g.NodesAtLine(1)[0]
+	if !cd.DependsOn(w.ID, w.ID) {
+		t.Error("loop header should be control dependent on itself")
+	}
+}
+
+// TestChildrenMirrorsParents: the children index inverts the parents
+// index.
+func TestChildrenMirrorsParents(t *testing.T) {
+	g, cd := build(t, paper.Fig8().Source)
+	for _, n := range g.Nodes {
+		for _, p := range cd.ParentIDs(n.ID) {
+			found := false
+			for _, c := range cd.Children(p) {
+				if c == n.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("node %d has parent %d but is not its child", n.ID, p)
+			}
+		}
+	}
+}
+
+// TestJumpFreeCDGMatchesSyntax: in a jump-free program, a statement's
+// control dependences are exactly its enclosing predicates.
+func TestJumpFreeCDGMatchesSyntax(t *testing.T) {
+	g, cd := build(t, `read(a);
+if (a > 0) {
+b = 1;
+while (b < a) {
+b = b + 1;
+}
+}
+write(b);`)
+	inner := g.NodesAtLine(5)[0]
+	wantLines := []int{4} // directly dependent on the while only
+	if got := parentLines(g, cd, inner.ID); !reflect.DeepEqual(got, wantLines) {
+		t.Errorf("innermost stmt deps = %v, want %v", got, wantLines)
+	}
+	whileNode := g.NodesAtLine(4)[0]
+	if !cd.DependsOn(whileNode.ID, g.NodesAtLine(2)[0].ID) {
+		t.Error("while should depend on enclosing if")
+	}
+}
+
+// TestPDFMatchesFOWOnCorpus cross-validates the two control
+// dependence constructions — the Ferrante–Ottenstein–Warren edge walk
+// (Build) and the Cytron postdominance-frontier computation
+// (ParentsByPDF) — on every corpus figure.
+func TestPDFMatchesFOWOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		g, cd := build(t, f.Source)
+		pdf := ParentsByPDF(g, cd.PDT)
+		for _, n := range g.Nodes {
+			if !cd.PDT.Reachable(n.ID) {
+				continue
+			}
+			fow := cd.ParentIDs(n.ID)
+			if fow == nil {
+				fow = []int{}
+			}
+			got := pdf[n.ID]
+			if got == nil {
+				got = []int{}
+			}
+			if !reflect.DeepEqual(fow, got) {
+				t.Errorf("%s node %v: FOW parents %v != PDF parents %v",
+					f.Name, n, fow, got)
+			}
+		}
+	}
+}
+
+// TestPDFMatchesFOWOnGeneratedPrograms extends the cross-check to
+// both random corpora.
+func TestPDFMatchesFOWOnGeneratedPrograms(t *testing.T) {
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 60; seed++ {
+				g, err := cfg.Build(gen(progen.Config{Seed: seed, Stmts: 35}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				pdt := dom.PostDominators(g, g.Exit.ID)
+				cd := Build(g, pdt)
+				pdf := ParentsByPDF(g, pdt)
+				for _, n := range g.Nodes {
+					if !pdt.Reachable(n.ID) {
+						continue
+					}
+					fow := cd.ParentIDs(n.ID)
+					if fow == nil {
+						fow = []int{}
+					}
+					got := pdf[n.ID]
+					if got == nil {
+						got = []int{}
+					}
+					if !reflect.DeepEqual(fow, got) {
+						t.Fatalf("seed %d node %v: FOW %v != PDF %v", seed, n, fow, got)
+					}
+				}
+			}
+		})
+	}
+}

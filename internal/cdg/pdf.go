@@ -1,0 +1,75 @@
+package cdg
+
+import (
+	"sort"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dom"
+)
+
+// ParentsByPDF computes, for every node, the set of nodes it is
+// control dependent on — via postdominance frontiers (the Cytron et
+// al. dominance-frontier algorithm run on the reverse flowgraph)
+// instead of the Ferrante–Ottenstein–Warren edge walk Build uses.
+//
+// The two constructions are equivalent: Y is control dependent on X
+// iff Y postdominates some successor of X without strictly
+// postdominating X — which is the definition of X belonging to Y's
+// reverse-graph dominance frontier, so DF_reverse(Y) is exactly Y's
+// set of controlling nodes. This second
+// implementation exists purely as a cross-check (the property tests
+// compare it against Build node-for-node), mirroring the twin
+// dominator algorithms in package dom.
+//
+// The result is indexed by node ID; each entry is sorted and
+// de-duplicated. Branch labels are not computed — the frontier does
+// not carry them — so comparisons use ParentIDs.
+func ParentsByPDF(g *cfg.Graph, pdt *dom.Tree) [][]int {
+	n := g.NumNodes()
+	// Successors in the reverse graph are the original predecessors.
+	succsR := func(x int) []int { return g.Preds(x) }
+
+	frontier := make([]map[int]bool, n)
+	for i := range frontier {
+		frontier[i] = map[int]bool{}
+	}
+
+	// Cytron et al., bottom-up over the (post)dominator tree:
+	//   DF(X) = DF_local(X) ∪ ⋃_{Z child of X} DF_up(Z)
+	//   DF_local(X) = { Y ∈ Succ(X) : idom(Y) ≠ X }
+	//   DF_up(Z)    = { Y ∈ DF(Z)   : idom(Y) ≠ X }
+	// run on the reverse graph with the postdominator tree.
+	order := pdt.Preorder()
+	for i := len(order) - 1; i >= 0; i-- {
+		x := order[i]
+		for _, y := range succsR(x) {
+			if !pdt.Reachable(y) {
+				continue
+			}
+			if pdt.Idom[y] != x {
+				frontier[x][y] = true
+			}
+		}
+		for _, z := range pdt.Children(x) {
+			for y := range frontier[z] {
+				if pdt.Idom[y] != x {
+					frontier[x][y] = true
+				}
+			}
+		}
+	}
+
+	// frontier[y] is DF_reverse(y): exactly the nodes y is control
+	// dependent on.
+	parents := make([][]int, n)
+	for y := 0; y < n; y++ {
+		if len(frontier[y]) == 0 {
+			continue
+		}
+		for x := range frontier[y] {
+			parents[y] = append(parents[y], x)
+		}
+		sort.Ints(parents[y])
+	}
+	return parents
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"jumpslice/internal/bits"
+)
+
+// Agrawal computes the slice with the paper's general algorithm
+// (Figure 7):
+//
+//	Slice = conventional slice
+//	do {
+//	    traverse the postdominator tree in preorder; for each jump J
+//	    not in Slice whose nearest postdominator in Slice differs from
+//	    its nearest lexical successor in Slice:
+//	        add J and the transitive closure of J's dependences
+//	} until no new jump can be added
+//	re-associate dangling goto labels
+//
+// Additions take effect immediately within a traversal (the paper's
+// running example relies on this: including node 13 of Figure 3 makes
+// it the nearest postdominator and lexical successor of node 11, so 11
+// is rejected later in the same traversal).
+func (a *Analysis) Agrawal(c Criterion) (*Slice, error) {
+	conv, err := a.Conventional(c)
+	if err != nil {
+		return nil, err
+	}
+	set := conv.Nodes
+	s := &Slice{
+		Analysis:  a,
+		Criterion: c,
+		Algorithm: "agrawal",
+		Nodes:     set,
+	}
+	jumps, traversals, err := a.RepairJumps(set)
+	if err != nil {
+		return nil, err
+	}
+	s.JumpsAdded, s.Traversals = jumps, traversals
+	s.Relabeled = a.retargetLabels(set)
+	return s, nil
+}
+
+// RepairJumps runs the paper's Figure 7 jump-detection loop over an
+// arbitrary base slice set, mutating it in place: repeated preorder
+// traversals of the postdominator tree add every live jump whose
+// nearest postdominator in the set differs from its nearest lexical
+// successor in the set, together with the closure of its dependences,
+// until a fixpoint. It returns the jumps added (in discovery order)
+// and the number of traversals performed (counting the final empty
+// one).
+//
+// Beyond serving Agrawal, this is the building block for slicing
+// variants that compute their base set differently — the dynamic
+// slicer (internal/dynslice) repairs a dynamic statement set with it.
+func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, traversals int, err error) {
+	order := a.PDT.Preorder()
+	for {
+		traversals++
+		changed := false
+		for _, v := range order {
+			n := a.CFG.Nodes[v]
+			if !n.Kind.IsJump() || set.Has(v) || !a.live[v] {
+				continue
+			}
+			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
+				continue
+			}
+			a.addJumpWithClosure(set, v)
+			jumpsAdded = append(jumpsAdded, v)
+			changed = true
+		}
+		if !changed {
+			return jumpsAdded, traversals, nil
+		}
+		if traversals > len(a.CFG.Nodes)+1 {
+			// Each productive traversal adds at least one jump, so
+			// traversal count is bounded by the jump count; this guard
+			// only trips on an implementation bug.
+			return nil, traversals, fmt.Errorf("core: Figure 7 loop failed to converge after %d traversals", traversals)
+		}
+	}
+}
+
+// AgrawalLST is the Figure 7 algorithm driven by preorder traversals
+// of the lexical successor tree instead of the postdominator tree —
+// the alternative the paper notes yields the same final slice, though
+// possibly with a different number of traversals. It exists for the
+// equivalence experiments.
+func (a *Analysis) AgrawalLST(c Criterion) (*Slice, error) {
+	conv, err := a.Conventional(c)
+	if err != nil {
+		return nil, err
+	}
+	set := conv.Nodes
+	s := &Slice{
+		Analysis:  a,
+		Criterion: c,
+		Algorithm: "agrawal-lst",
+		Nodes:     set,
+	}
+	order := a.LST.Preorder()
+	for {
+		s.Traversals++
+		changed := false
+		for _, v := range order {
+			n := a.CFG.Nodes[v]
+			if !n.Kind.IsJump() || set.Has(v) || !a.live[v] {
+				continue
+			}
+			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
+				continue
+			}
+			a.addJumpWithClosure(set, v)
+			s.JumpsAdded = append(s.JumpsAdded, v)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		if s.Traversals > len(a.CFG.Nodes)+1 {
+			return nil, fmt.Errorf("core: LST-driven algorithm failed to converge after %d traversals", s.Traversals)
+		}
+	}
+	s.Relabeled = a.retargetLabels(set)
+	return s, nil
+}
+
+// addJumpWithClosure adds jump node v to the slice together with the
+// transitive closure of its data and control dependences, keeping the
+// conditional-jump adaptation invariant (a predicate pulled in by the
+// closure brings its associated jump along — Figure 8's predicate 9).
+func (a *Analysis) addJumpWithClosure(set *bits.Set, v int) {
+	a.PDG.GrowClosure(set, v)
+	a.normalizeSlice(set)
+}

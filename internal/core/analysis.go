@@ -1,0 +1,355 @@
+// Package core implements the slicing algorithms of Agrawal's "On
+// Slicing Programs with Jump Statements" (PLDI 1994):
+//
+//   - Conventional — program-dependence-graph reachability with the
+//     paper's conditional-jump adaptation (Section 2 and Section 3,
+//     second paragraph). Jump-unaware: never includes an unconditional
+//     jump, and therefore wrong on programs with jumps.
+//   - Agrawal — the general algorithm of Figure 7: repeated preorder
+//     traversals of the postdominator tree add every jump whose
+//     nearest postdominator in the slice differs from its nearest
+//     lexical successor in the slice, closing the slice under the
+//     dependences of each added jump.
+//   - AgrawalStructured — the Figure 12 algorithm for structured
+//     programs: a single traversal, candidates restricted to jumps
+//     directly control dependent on a predicate already in the slice,
+//     no dependence closure needed.
+//   - AgrawalConservative — the Figure 13 algorithm: include every
+//     jump directly control dependent on a predicate in the slice.
+//     Needs neither the postdominator tree traversal nor the lexical
+//     successor tree, at the cost of possibly larger slices.
+//
+// All four share an Analysis, which packages the flowgraph, the
+// postdominator tree, the control/data/program dependence graphs and
+// the lexical successor tree of one program. The paper's key selling
+// point — the flowgraph and the PDG stay untouched; only the separate
+// lexical successor tree is added — is visible in the types: every
+// algorithm reads the same Analysis.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jumpslice/internal/bits"
+	"jumpslice/internal/cdg"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dataflow"
+	"jumpslice/internal/dom"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/lst"
+	"jumpslice/internal/pdg"
+)
+
+// Criterion is a slicing criterion (variable, line): "the value of Var
+// at Line", e.g. positives on line 12.
+type Criterion struct {
+	Var  string
+	Line int
+}
+
+// String renders the criterion as "<var>@<line>".
+func (c Criterion) String() string { return fmt.Sprintf("%s@%d", c.Var, c.Line) }
+
+// Analysis bundles every derived structure of one program. Build it
+// once with Analyze, then compute any number of slices from it.
+type Analysis struct {
+	Prog *lang.Program
+	CFG  *cfg.Graph
+	// PDT is the postdominator tree, rooted at Exit.
+	PDT *dom.Tree
+	// CDG is the control dependence graph (Ferrante–Ottenstein–Warren
+	// over the plain flowgraph).
+	CDG *cdg.Graph
+	// RD holds reaching definitions; DataDeps derive from it.
+	RD *dataflow.ReachingDefs
+	// PDG merges control and data dependence.
+	PDG *pdg.Graph
+	// LST is the lexical successor tree — the one extra structure the
+	// paper's algorithm needs.
+	LST *lst.Tree
+
+	// live[n] reports whether node n is reachable from Entry. Dead
+	// statements never execute, so the jump-detection phases consider
+	// only live jumps; without this filter the Figure 7 test happily
+	// adds jumps sitting in unreachable code (e.g. a second break
+	// right after a break), which no other algorithm ever selects and
+	// which cannot affect any criterion.
+	live []bool
+
+	// enclosingSwitch maps each node ID to the node ID of the switch
+	// tag immediately enclosing its statement, or -1. It backs the
+	// switch-enclosure invariant (see normalizeSlice): a C case body
+	// statement can postdominate its switch's dispatch (fall-through
+	// into default), in which case it is not control dependent on the
+	// switch — yet a slice containing it without the switch is not a
+	// projection, and the paper's lexical-successor test implicitly
+	// assumes projections (footnote 2: deleting a compound deletes
+	// its body). if and while bodies cannot postdominate their
+	// predicates in structured code, so only switches need this.
+	enclosingSwitch []int
+}
+
+// Analyze parses nothing: it takes an already-parsed program and
+// derives the flowgraph, postdominator tree, dependence graphs, and
+// lexical successor tree.
+func Analyze(prog *lang.Program) (*Analysis, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	pdt := dom.PostDominators(g, g.Exit.ID)
+	cd := cdg.Build(g, pdt)
+	rd := dataflow.Reach(g)
+	a := &Analysis{
+		Prog: prog,
+		CFG:  g,
+		PDT:  pdt,
+		CDG:  cd,
+		RD:   rd,
+		PDG:  pdg.Build(g, cd, rd),
+		LST:  lst.Build(g),
+	}
+	a.live = make([]bool, len(g.Nodes))
+	for id := range g.Reachable() {
+		a.live[id] = true
+	}
+	a.enclosingSwitch = make([]int, len(g.Nodes))
+	for i := range a.enclosingSwitch {
+		a.enclosingSwitch[i] = -1
+	}
+	var record func(s lang.Stmt, sw int)
+	record = func(s lang.Stmt, sw int) {
+		switch s := s.(type) {
+		case nil:
+		case *lang.LabeledStmt:
+			record(s.Stmt, sw)
+		case *lang.BlockStmt:
+			for _, st := range s.List {
+				record(st, sw)
+			}
+		case *lang.IfStmt:
+			a.enclosingSwitch[g.NodeFor(s).ID] = sw
+			record(s.Then, sw)
+			record(s.Else, sw)
+		case *lang.WhileStmt:
+			a.enclosingSwitch[g.NodeFor(s).ID] = sw
+			record(s.Body, sw)
+		case *lang.SwitchStmt:
+			n := g.NodeFor(s)
+			a.enclosingSwitch[n.ID] = sw
+			for _, cc := range s.Cases {
+				for _, st := range cc.Body {
+					record(st, n.ID)
+				}
+			}
+		default:
+			if n := g.NodeFor(s); n != nil {
+				a.enclosingSwitch[n.ID] = sw
+			}
+		}
+	}
+	for _, s := range prog.Body {
+		record(s, -1)
+	}
+	return a, nil
+}
+
+// MustAnalyze is Analyze but panics on error, for known-good corpus
+// programs.
+func MustAnalyze(prog *lang.Program) *Analysis {
+	a, err := Analyze(prog)
+	if err != nil {
+		panic("core.MustAnalyze: " + err.Error())
+	}
+	return a
+}
+
+// Structured reports whether the program is structured in the paper's
+// Section 4 sense: every jump statement's target is one of its lexical
+// successors. break, continue and return always satisfy this; gotos
+// satisfy it exactly when they transfer control forward to a statement
+// their own control would eventually fall through to.
+func (a *Analysis) Structured() bool {
+	for _, j := range a.CFG.Jumps() {
+		if j.Target == nil {
+			continue // unresolved; cannot happen after a successful Build
+		}
+		if j.Target.ID == a.CFG.Exit.ID {
+			continue // returns target Exit, the LST root: always a successor
+		}
+		if !a.LST.IsSuccessor(j.Target.ID, j.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice is the result of a slicing algorithm.
+type Slice struct {
+	Analysis  *Analysis
+	Criterion Criterion
+	// Algorithm names the producing algorithm ("conventional",
+	// "agrawal", "agrawal-structured", "agrawal-conservative", or a
+	// baseline's name).
+	Algorithm string
+	// Nodes is the set of flowgraph node IDs in the slice (Entry may
+	// be present from control dependence closure; Exit never is).
+	Nodes *bits.Set
+	// Traversals is the number of postdominator tree preorder
+	// traversals performed, counting the final unproductive one
+	// (Figure 7 only; 1 for Figure 12, 0 otherwise).
+	Traversals int
+	// JumpsAdded lists the node IDs of jump statements the jump-aware
+	// phase added beyond the conventional slice, in addition order.
+	JumpsAdded []int
+	// Relabeled maps goto labels whose labeled statement is not in the
+	// slice to the node ID the label is re-attached to (the labeled
+	// statement's nearest postdominator in the slice; Exit means "end
+	// of program").
+	Relabeled map[string]int
+}
+
+// Has reports whether the flowgraph node with the given ID is in the
+// slice.
+func (s *Slice) Has(id int) bool { return s.Nodes.Has(id) }
+
+// Lines returns the sorted source lines of the slice's statements
+// (Entry and Exit excluded). This is the representation the paper's
+// figures use.
+func (s *Slice) Lines() []int {
+	seen := map[int]bool{}
+	s.Nodes.ForEach(func(id int) {
+		n := s.Analysis.CFG.Nodes[id]
+		if n.Line > 0 {
+			seen[n.Line] = true
+		}
+	})
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+// StatementNodes returns the slice's node IDs excluding Entry/Exit, in
+// ascending order.
+func (s *Slice) StatementNodes() []int {
+	var out []int
+	s.Nodes.ForEach(func(id int) {
+		n := s.Analysis.CFG.Nodes[id]
+		if n.Kind != cfg.KindEntry && n.Kind != cfg.KindExit {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// LiveStatementNodes returns the slice's node IDs excluding
+// Entry/Exit and excluding nodes in dead (entry-unreachable) code.
+// Dead statements never execute, so two slices with equal live parts
+// are behaviourally identical; the Agrawal/Ball–Horwitz equivalence
+// is stated on live parts because the augmented flowgraph gives dead
+// code different connectivity than the plain one.
+func (s *Slice) LiveStatementNodes() []int {
+	var out []int
+	s.Nodes.ForEach(func(id int) {
+		n := s.Analysis.CFG.Nodes[id]
+		if n.Kind != cfg.KindEntry && n.Kind != cfg.KindExit && s.Analysis.live[id] {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// RelabeledLines translates Relabeled to source lines: label → line of
+// the statement the label is re-attached to, with 0 meaning end of
+// program.
+func (s *Slice) RelabeledLines() map[string]int {
+	out := map[string]int{}
+	for l, id := range s.Relabeled {
+		out[l] = s.Analysis.CFG.Nodes[id].Line
+	}
+	return out
+}
+
+// CriterionNodes resolves a criterion to its PDG seed node IDs; it is
+// the entry point baseline algorithms share with the in-package
+// slicers.
+func (a *Analysis) CriterionNodes(c Criterion) ([]int, error) {
+	return a.resolveCriterion(c)
+}
+
+// resolveCriterion maps a criterion to PDG seed nodes. When the
+// statement(s) at the criterion line use or define the variable, those
+// statements seed the closure (the usual case: "write(positives)").
+// Otherwise the seeds are the definitions of the variable reaching the
+// line, which matches Weiser's "value of var at loc" reading.
+func (a *Analysis) resolveCriterion(c Criterion) ([]int, error) {
+	nodes := a.CFG.NodesAtLine(c.Line)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no statement at line %d", c.Line)
+	}
+	var seeds []int
+	for _, n := range nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		if lang.Def(n.Stmt) == c.Var {
+			seeds = append(seeds, n.ID)
+			continue
+		}
+		for _, u := range lang.Uses(n.Stmt) {
+			if u == c.Var {
+				seeds = append(seeds, n.ID)
+				break
+			}
+		}
+	}
+	if len(seeds) > 0 {
+		return seeds, nil
+	}
+	// The line neither uses nor defines the variable: slice on the
+	// definitions reaching it.
+	seeds = a.RD.ReachingDefsOf(nodes[0].ID, c.Var)
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: variable %q has no reaching definition at line %d and is not used there", c.Var, c.Line)
+	}
+	return seeds, nil
+}
+
+// nearestInTreeSlice walks tree ancestors of v (postdominator or
+// lexical successor tree) and returns the first node present in the
+// slice set. The tree root (Exit) counts as always in the slice, so
+// the walk always terminates with a well-defined answer.
+func nearestInTreeSlice(root int, walk func(v int, fn func(int) bool), v int, set *bits.Set) int {
+	result := root
+	walk(v, func(anc int) bool {
+		if anc == root || set.Has(anc) {
+			result = anc
+			return false
+		}
+		return true
+	})
+	return result
+}
+
+// Live reports whether the node is reachable from Entry.
+func (a *Analysis) Live(id int) bool { return a.live[id] }
+
+// nearestPostdomInSlice returns the nearest strict postdominator of v
+// present in set (Exit if none). Nodes with undefined postdominators
+// (on inescapable cycles) report Exit.
+func (a *Analysis) nearestPostdomInSlice(v int, set *bits.Set) int {
+	if !a.PDT.Reachable(v) {
+		return a.CFG.Exit.ID
+	}
+	return nearestInTreeSlice(a.CFG.Exit.ID, a.PDT.Walk, v, set)
+}
+
+// nearestLexInSlice returns the nearest proper lexical successor of v
+// present in set (Exit if none).
+func (a *Analysis) nearestLexInSlice(v int, set *bits.Set) int {
+	return nearestInTreeSlice(a.CFG.Exit.ID, a.LST.Walk, v, set)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+)
+
+// TestExhaustiveCriteriaOnCorpus slices every corpus figure on every
+// (variable, statement line) pair — not just the paper's criterion —
+// and validates each Figure 7 slice semantically. This is the widest
+// single net in the suite: for Figure 3-a alone it checks 15 lines ×
+// 3 variables.
+func TestExhaustiveCriteriaOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			prog := f.Parse()
+			a := MustAnalyze(prog)
+			vars := lang.VarNames(prog)
+			lines := map[int]bool{}
+			for _, s := range lang.Statements(prog) {
+				lines[s.Pos().Line] = true
+			}
+			checked := 0
+			for line := range lines {
+				for _, v := range vars {
+					c := Criterion{Var: v, Line: line}
+					s, err := a.Agrawal(c)
+					if err != nil {
+						// Criteria with no reaching definition and no
+						// use at the line are legitimately rejected.
+						continue
+					}
+					checked++
+					sliced := s.Materialize()
+					for _, opts := range figureRuns(f) {
+						wantOpts := opts
+						wantOpts.ObserveVar, wantOpts.ObserveLine = v, line
+						wantRes, err := interp.Run(prog, wantOpts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotOpts := opts
+						gotOpts.ObserveVar, gotOpts.ObserveLine = v, line
+						gotRes, err := interp.Run(sliced, gotOpts)
+						if err != nil {
+							t.Fatalf("%v: slice run: %v\n%s", c, err, s.Format())
+						}
+						if !reflect.DeepEqual(gotRes.Observations, wantRes.Observations) {
+							t.Errorf("%v: slice observes %v, original %v\n%s",
+								c, gotRes.Observations, wantRes.Observations, s.Format())
+						}
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no criteria checked")
+			}
+			t.Logf("validated %d criteria", checked)
+		})
+	}
+}
+
+// TestExhaustiveStructuredAlgorithmsOnCorpus does the same for the
+// Figure 12 and Figure 13 algorithms on the structured figures.
+func TestExhaustiveStructuredAlgorithmsOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		if !f.Structured {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			prog := f.Parse()
+			a := MustAnalyze(prog)
+			vars := lang.VarNames(prog)
+			lines := map[int]bool{}
+			for _, s := range lang.Statements(prog) {
+				lines[s.Pos().Line] = true
+			}
+			for line := range lines {
+				for _, v := range vars {
+					c := Criterion{Var: v, Line: line}
+					general, err := a.Agrawal(c)
+					if err != nil {
+						continue
+					}
+					simplified, err := a.AgrawalStructured(c)
+					if err != nil {
+						t.Fatalf("%v: %v", c, err)
+					}
+					if !reflect.DeepEqual(general.StatementNodes(), simplified.StatementNodes()) {
+						t.Errorf("%v: Figure 7 %v != Figure 12 %v",
+							c, general.Lines(), simplified.Lines())
+					}
+					cons, err := a.AgrawalConservative(c)
+					if err != nil {
+						t.Fatalf("%v: %v", c, err)
+					}
+					for _, id := range simplified.StatementNodes() {
+						if !cons.Has(id) {
+							t.Errorf("%v: Figure 13 missing Figure 12 node %d", c, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/interp"
+)
+
+// This file pins each finding of EXPERIMENTS.md ("Findings") with a
+// minimal hand-written counterexample, so the documented repairs
+// cannot silently regress.
+
+// TestFindingF1InputCursor: removing one read must not shift the
+// values later reads receive. Without the input-cursor variable, the
+// slice below would drop read(a) (a is unrelated to the criterion)
+// and read(b) would consume the wrong input element.
+func TestFindingF1InputCursor(t *testing.T) {
+	prog := parse(t, `read(a);
+read(b);
+write(b);`)
+	a := MustAnalyze(prog)
+	s, err := a.Agrawal(Criterion{Var: "b", Line: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLines := s.Lines()
+	if !reflect.DeepEqual(gotLines, []int{1, 2, 3}) {
+		t.Fatalf("slice = %v, want [1 2 3] (read(a) kept for cursor position)", gotLines)
+	}
+	// And the semantic check that motivated it.
+	in := []int64{10, 20}
+	want, err := interp.Observe(prog, in, "b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := interp.Observe(s.Materialize(), in, "b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("slice observes %v, original %v", got, want)
+	}
+}
+
+// TestFindingF1EOFUsesCursor: a loop condition calling eof() depends
+// on the reads that advance the stream.
+func TestFindingF1EOFUsesCursor(t *testing.T) {
+	prog := parse(t, `n = 0;
+while (!eof()) {
+read(x);
+n = n + 1;
+}
+write(n);`)
+	a := MustAnalyze(prog)
+	s, err := a.Agrawal(Criterion{Var: "n", Line: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range s.Lines() {
+		if l == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slice %v must keep read(x): eof() depends on stream position", s.Lines())
+	}
+}
+
+// TestFindingF2SwitchFallthroughBreaks is the minimal program where
+// the paper's Figure 12 condition (i) fails: the case exits on every
+// path, so neither break is control dependent on anything in the
+// slice, yet dropping both lets case 0 fall into case 1.
+func TestFindingF2SwitchFallthroughBreaks(t *testing.T) {
+	prog := parse(t, `read(x);
+y = 0;
+switch (x % 2) {
+case 0:
+if (x < 0) {
+z = 1;
+break; }
+break;
+case 1:
+y = 2;
+}
+write(y);`)
+	a := MustAnalyze(prog)
+	c := Criterion{Var: "y", Line: 12}
+
+	s, err := a.AgrawalStructured(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The widened candidate set must pull in at least one of the
+	// breaks; the pdom/lex test keeps what is needed.
+	hasBreak := false
+	for _, l := range s.Lines() {
+		if l == 7 || l == 8 {
+			hasBreak = true
+		}
+	}
+	if !hasBreak {
+		t.Fatalf("Figure 12 slice %v keeps no break; case 0 would fall into case 1", s.Lines())
+	}
+	// Semantic check on an even input (the failing path of the
+	// unrepaired algorithm).
+	for _, in := range [][]int64{{4}, {3}, {-4}, {-3}} {
+		want, err := interp.Observe(prog, in, "y", 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Observe(s.Materialize(), in, "y", 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("input %v: slice observes %v, original %v\n%s", in, got, want, s.Format())
+		}
+	}
+}
+
+// TestFindingF2SwitchEnclosureInvariant: a statement that
+// postdominates its switch's dispatch (fall-through into default) is
+// not control dependent on the switch; the slice must include the
+// switch anyway, or the materialized program is not a projection.
+func TestFindingF2SwitchEnclosureInvariant(t *testing.T) {
+	prog := parse(t, `read(c);
+switch (c) {
+case 0:
+write(c);
+default:
+y = 7;
+}
+write(y);`)
+	a := MustAnalyze(prog)
+	s, err := a.Agrawal(Criterion{Var: "y", Line: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 7 runs on every path through the switch, so it is not
+	// control dependent on the switch — but the slice must contain
+	// the switch (and, through its tag's data deps, the read).
+	want := []int{1, 2, 6, 8}
+	if got := s.Lines(); !reflect.DeepEqual(got, want) {
+		t.Errorf("slice = %v, want %v (switch kept via enclosure invariant)", got, want)
+	}
+}
+
+// TestFindingF3ReturnOperandClosure: adding "return e" as a jump must
+// pull e's definitions into the slice; Figure 12 and Figure 7 agree.
+func TestFindingF3ReturnOperandClosure(t *testing.T) {
+	prog := parse(t, `v = 5;
+read(x);
+if (x > 0) {
+return v;
+}
+y = 1;
+write(y);`)
+	a := MustAnalyze(prog)
+	c := Criterion{Var: "y", Line: 7}
+	g7, err := a.Agrawal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g12, err := a.AgrawalStructured(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g7.Lines(), g12.Lines()) {
+		t.Errorf("Figure 7 %v != Figure 12 %v", g7.Lines(), g12.Lines())
+	}
+	// The return's operand definition (line 1) rides along.
+	has1 := false
+	for _, l := range g7.Lines() {
+		if l == 1 {
+			has1 = true
+		}
+	}
+	if !has1 {
+		t.Errorf("slice %v missing the return operand's definition", g7.Lines())
+	}
+}
+
+// TestFindingF5GuardedReturn: the common case around finding F5 — a
+// guarded early return must enter every jump-aware slice (here via
+// the ordinary condition (i), since the guard is a real predicate).
+func TestFindingF5GuardedReturn(t *testing.T) {
+	prog := parse(t, `y = 1;
+read(x);
+if (x > 0) return x;
+write(y);`)
+	a := MustAnalyze(prog)
+	for _, algo := range []func(Criterion) (*Slice, error){
+		a.Agrawal, a.AgrawalStructured, a.AgrawalConservative,
+	} {
+		s, err := algo(Criterion{Var: "y", Line: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasReturn := false
+		for _, l := range s.Lines() {
+			if l == 3 {
+				hasReturn = true
+			}
+		}
+		if !hasReturn {
+			t.Errorf("%s slice %v missing the guarded return", s.Algorithm, s.Lines())
+		}
+		// Semantics: with x > 0 the original never writes.
+		for _, in := range [][]int64{{5}, {-5}} {
+			want, err := interp.Observe(prog, in, "y", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := interp.Observe(s.Materialize(), in, "y", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s input %v: slice %v, original %v", s.Algorithm, in, got, want)
+			}
+		}
+	}
+}
+
+// TestFindingF5DeadCriterion is the finding proper: a criterion below
+// an unconditional top-level return — dead code — still slices, and
+// the slice includes the return (whose only control dependence is the
+// dummy entry predicate, node 0) so the criterion stays unreached in
+// the slice too. All three jump-aware algorithms must agree.
+func TestFindingF5DeadCriterion(t *testing.T) {
+	prog := parse(t, `y = 1;
+return y;
+write(y);`)
+	a := MustAnalyze(prog)
+	for _, algo := range []func(Criterion) (*Slice, error){
+		a.Agrawal, a.AgrawalStructured, a.AgrawalConservative,
+	} {
+		s, err := algo(Criterion{Var: "y", Line: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := interp.Observe(prog, nil, "y", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Observe(s.Materialize(), nil, "y", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: dead criterion: slice observes %v, original %v\n%s",
+				s.Algorithm, got, want, s.Format())
+		}
+		if len(want) != 0 {
+			t.Fatalf("test setup: criterion should be unreached in the original")
+		}
+	}
+}
+
+// TestFindingF7LyleEarlyReturn demonstrates the degenerate case: an
+// early return the criterion cannot be reached from is outside Lyle's
+// "between" candidate set, and his slice misbehaves — while Figure 7
+// keeps it.
+func TestFindingF7LyleEarlyReturn(t *testing.T) {
+	prog := parse(t, `y = 1;
+read(x);
+if (x > 0) return x;
+y = 2;
+write(y);`)
+	a := MustAnalyze(prog)
+	s, err := a.Agrawal(Criterion{Var: "y", Line: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "return x;") {
+		t.Errorf("Figure 7 slice must keep the early return:\n%s", out)
+	}
+	want, err := interp.Observe(prog, []int64{5}, "y", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := interp.Observe(s.Materialize(), []int64{5}, "y", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("slice observes %v, original %v", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/paper"
+)
+
+func TestForwardSliceStraightLine(t *testing.T) {
+	a := MustAnalyze(parse(t, `read(a);
+b = a + 1;
+c = 5;
+d = b * 2;
+write(d);
+write(c);`))
+	s, err := a.Forward(Criterion{Var: "a", Line: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a flows into b, d, write(d) — but not c or write(c).
+	if got := s.Lines(); !reflect.DeepEqual(got, []int{1, 2, 4, 5}) {
+		t.Errorf("forward slice = %v, want [1 2 4 5]", got)
+	}
+}
+
+func TestForwardSliceThroughControl(t *testing.T) {
+	a := MustAnalyze(parse(t, `read(p);
+if (p > 0) {
+x = 1;
+}
+write(x);`))
+	s, err := a.Forward(Criterion{Var: "p", Line: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p decides the if, which controls x = 1, which flows to the
+	// write.
+	if got := s.Lines(); !reflect.DeepEqual(got, []int{1, 2, 3, 5}) {
+		t.Errorf("forward slice = %v, want [1 2 3 5]", got)
+	}
+}
+
+func TestForwardBackwardDuality(t *testing.T) {
+	// n is in Forward(m) iff m is in Conventional-backward(n), for
+	// criteria naming the right variables. Spot-check on Figure 1:
+	// read(x)@4 affects positives@12, and positives@12's backward
+	// slice contains line 4.
+	f := paper.Fig1()
+	a := MustAnalyze(f.Parse())
+	fwd, err := a.Forward(Criterion{Var: "x", Line: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has12 := false
+	for _, l := range fwd.Lines() {
+		if l == 12 {
+			has12 = true
+		}
+	}
+	if !has12 {
+		t.Errorf("forward slice of read(x) = %v should reach write(positives)@12", fwd.Lines())
+	}
+	bwd, err := a.Conventional(Criterion{Var: "positives", Line: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has4 := false
+	for _, l := range bwd.Lines() {
+		if l == 4 {
+			has4 = true
+		}
+	}
+	if !has4 {
+		t.Errorf("backward slice %v should contain line 4", bwd.Lines())
+	}
+}
+
+func TestChop(t *testing.T) {
+	a := MustAnalyze(parse(t, `read(a);
+b = a + 1;
+c = a * 2;
+d = b + 9;
+e = c + d;
+write(e);
+write(b);`))
+	// How does b = a+1 (line 2) influence write(e) (line 6)?
+	// Through d (line 4) and e (line 5) — but not through c (line 3)
+	// and not write(b) (line 7).
+	s, err := a.Chop(Criterion{Var: "b", Line: 2}, Criterion{Var: "e", Line: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lines(); !reflect.DeepEqual(got, []int{2, 4, 5, 6}) {
+		t.Errorf("chop = %v, want [2 4 5 6]", got)
+	}
+}
+
+func TestChopEmptyWhenUnrelated(t *testing.T) {
+	a := MustAnalyze(parse(t, `a = 1;
+b = 2;
+write(a);
+write(b);`))
+	s, err := a.Chop(Criterion{Var: "a", Line: 1}, Criterion{Var: "b", Line: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry is in both closures; no statements are.
+	if got := s.Lines(); len(got) != 0 {
+		t.Errorf("chop = %v, want empty", got)
+	}
+}
+
+func TestAffectedWrites(t *testing.T) {
+	// The regression example's question, as an API call: which outputs
+	// can the change on line 8 affect?
+	a := MustAnalyze(parse(t, `budget = 100;
+spent = 0;
+items = 0;
+rejected = 0;
+while (!eof()) {
+read(cost);
+if (cost > budget - spent) {
+rejected = rejected + 1;
+break; }
+spent = spent + cost;
+items = items + 1; }
+write(items);
+write(spent);
+write(rejected);`))
+	lines, err := a.AffectedWrites(Criterion{Var: "rejected", Line: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lines, []int{14}) {
+		t.Errorf("affected writes = %v, want [14]", lines)
+	}
+	// The break on line 9, in contrast, affects everything after it.
+	lines, err = a.AffectedWrites(Criterion{Var: "cost", Line: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Errorf("read(cost) should affect all three writes, got %v", lines)
+	}
+}
+
+func TestForwardCriterionErrors(t *testing.T) {
+	a := MustAnalyze(parse(t, "x = 1;"))
+	if _, err := a.Forward(Criterion{Var: "x", Line: 9}); err == nil {
+		t.Error("expected error for bad line")
+	}
+}

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"jumpslice/internal/lang"
+)
+
+// parse is a test helper wrapping lang.Parse with fatal error
+// handling.
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}

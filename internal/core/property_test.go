@@ -1,0 +1,374 @@
+// Property-based tests over randomly generated programs. They live in
+// an external test package so they can use the baselines package
+// (which imports core) without an import cycle.
+package core_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/baselines"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/core"
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/progen"
+)
+
+var propertyInputs = [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}, {8, 8, -8, 8}}
+
+// forEachCase runs fn for a spread of generated programs and criteria.
+func forEachCase(t *testing.T, gen func(progen.Config) *lang.Program, seeds int,
+	fn func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion)) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		p := gen(progen.Config{Seed: seed, Stmts: 30})
+		a, err := core.Analyze(p)
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v", seed, err)
+		}
+		crits := progen.WriteCriteria(p)
+		if len(crits) > 3 {
+			crits = crits[len(crits)-3:] // final writes see the most flow
+		}
+		for _, wc := range crits {
+			fn(t, seed, a, core.Criterion{Var: wc.Var, Line: wc.Line})
+		}
+	}
+}
+
+// observationsEqual runs the original and the materialized slice on
+// the shared input streams and compares criterion observations. A
+// slice that exceeds the step budget is counted as differing: an
+// incorrect slice can genuinely diverge (drop an unconditional jump
+// and a fuel-guard loop loses its exit) — that *is* the paper's
+// motivating failure mode, not a harness bug.
+func observationsEqual(t *testing.T, orig *lang.Program, s *core.Slice) bool {
+	t.Helper()
+	sliced := s.Materialize()
+	for _, in := range propertyInputs {
+		want, err := interp.Observe(orig, in, s.Criterion.Var, s.Criterion.Line)
+		if err != nil {
+			t.Fatalf("original run: %v", err)
+		}
+		got, err := interp.Observe(sliced, in, s.Criterion.Var, s.Criterion.Line)
+		if errors.Is(err, interp.ErrStepBudget) {
+			return false
+		}
+		if err != nil {
+			t.Fatalf("slice run: %v\nslice:\n%s", err, s.Format())
+		}
+		if !reflect.DeepEqual(got, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyAgrawalEqualsBallHorwitzStructured verifies the paper's
+// equivalence claim on random structured programs, at node
+// granularity.
+func TestPropertyAgrawalEqualsBallHorwitzStructured(t *testing.T) {
+	forEachCase(t, progen.Structured, 120, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		bh, err := baselines.BallHorwitz(a, c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		if !reflect.DeepEqual(ag.LiveStatementNodes(), bh.LiveStatementNodes()) {
+			t.Errorf("seed %d %v: Agrawal %v != BallHorwitz %v\nprogram:\n%s",
+				seed, c, ag.Lines(), bh.Lines(),
+				lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}))
+		}
+	})
+}
+
+// TestPropertyAgrawalEqualsBallHorwitzUnstructured repeats the
+// equivalence check on flat goto programs with arbitrary control flow.
+func TestPropertyAgrawalEqualsBallHorwitzUnstructured(t *testing.T) {
+	forEachCase(t, progen.Unstructured, 120, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		bh, err := baselines.BallHorwitz(a, c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		if !reflect.DeepEqual(ag.LiveStatementNodes(), bh.LiveStatementNodes()) {
+			t.Errorf("seed %d %v: Agrawal %v != BallHorwitz %v\nprogram:\n%s",
+				seed, c, ag.Lines(), bh.Lines(),
+				lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}))
+		}
+	})
+}
+
+// TestPropertyAgrawalSemanticallySound: materialized Figure 7 slices
+// of random programs (both corpora) reproduce the original criterion
+// observations on every input stream.
+func TestPropertyAgrawalSemanticallySound(t *testing.T) {
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			forEachCase(t, gen, 80, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+				s, err := a.Agrawal(c)
+				if err != nil {
+					t.Fatalf("seed %d %v: %v", seed, c, err)
+				}
+				if !observationsEqual(t, a.Prog, s) {
+					t.Errorf("seed %d %v: slice changes observable behaviour\nprogram:\n%s\nslice:\n%s",
+						seed, c, lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}), s.Format())
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyStructuredAlgorithmsSound: Figure 12 and Figure 13
+// slices of random structured programs are semantically correct and
+// properly ordered by size (12 ⊆ 13).
+func TestPropertyStructuredAlgorithmsSound(t *testing.T) {
+	forEachCase(t, progen.Structured, 80, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		st, err := a.AgrawalStructured(c)
+		if err != nil {
+			if errors.Is(err, core.ErrUnstructured) {
+				t.Fatalf("seed %d: structured generator produced an unstructured program", seed)
+			}
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		if !observationsEqual(t, a.Prog, st) {
+			t.Errorf("seed %d %v: Figure 12 slice changes behaviour\nslice:\n%s", seed, c, st.Format())
+		}
+		cons, err := a.AgrawalConservative(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		if !observationsEqual(t, a.Prog, cons) {
+			t.Errorf("seed %d %v: Figure 13 slice changes behaviour\nslice:\n%s", seed, c, cons.Format())
+		}
+		for _, id := range st.StatementNodes() {
+			if !cons.Has(id) {
+				t.Errorf("seed %d %v: Figure 13 slice missing Figure 12 node %d", seed, c, id)
+			}
+		}
+	})
+}
+
+// TestPropertyStructuredEqualsGeneral: the Figure 12 simplification
+// computes the Figure 7 slice on every random structured program.
+func TestPropertyStructuredEqualsGeneral(t *testing.T) {
+	forEachCase(t, progen.Structured, 120, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		general, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		simplified, err := a.AgrawalStructured(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		if !reflect.DeepEqual(general.StatementNodes(), simplified.StatementNodes()) {
+			t.Errorf("seed %d %v: Figure 7 %v != Figure 12 %v\nprogram:\n%s",
+				seed, c, general.Lines(), simplified.Lines(),
+				lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}))
+		}
+	})
+}
+
+// TestPropertySingleTraversalForStructured probes the paper's Section
+// 4 conclusion 1 — "for structured programs, a single traversal of
+// the postdominator tree is sufficient". Measured, the claim holds in
+// ≈99.6% of generated structured programs but NOT always: the
+// dependence closure of an added jump (the value operand of a return,
+// the guard of a switch fall-through break) can enter the slice after
+// an earlier jump's test already ran and flip it, with no
+// postdominator/lexical-successor pair anywhere — outside the paper's
+// multi-traversal characterization (see EXPERIMENTS.md, Findings).
+// The test therefore pins the measured behaviour: at most two
+// productive traversals (three total), and logs the distribution.
+func TestPropertySingleTraversalForStructured(t *testing.T) {
+	hist := map[int]int{}
+	forEachCase(t, progen.Structured, 120, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		s, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		hist[s.Traversals]++
+		if s.Traversals > 3 {
+			t.Errorf("seed %d %v: %d traversals on a structured program, want <= 3\nprogram:\n%s",
+				seed, c, s.Traversals,
+				lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}))
+		}
+	})
+	t.Logf("traversal histogram (total passes incl. final empty one): %v", hist)
+}
+
+// TestPropertyNoPostdomLexPairInStructured: the paper's Section 4
+// property 1 — a structured program contains no pair (Ni, Nj) with Ni
+// postdominating Nj while Nj lexically succeeds Ni.
+func TestPropertyNoPostdomLexPairInStructured(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := progen.Structured(progen.Config{Seed: seed, Stmts: 30})
+		a, err := core.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Structured() {
+			t.Fatalf("seed %d: generator emitted unstructured program", seed)
+		}
+		for _, ni := range a.CFG.Nodes {
+			if ni.Kind == cfg.KindEntry || ni.Kind == cfg.KindExit {
+				continue
+			}
+			for _, nj := range a.CFG.Nodes {
+				if nj.Kind == cfg.KindEntry || nj.Kind == cfg.KindExit || ni == nj {
+					continue
+				}
+				if a.PDT.StrictlyDominates(ni.ID, nj.ID) && a.LST.IsSuccessor(nj.ID, ni.ID) {
+					t.Fatalf("seed %d: structured program has pdom/lex pair (%v, %v)\n%s",
+						seed, ni, nj, lang.Format(p, lang.PrintOptions{LineNumbers: true}))
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyLyleConservativeBetweenJumps characterizes Lyle's rule
+// on the unstructured corpus. Lyle's candidate set is "jumps lying
+// between a slice statement and the criterion location"; jumps from
+// which the criterion is unreachable (early returns, gotos past the
+// write) are outside it — the "certain degenerate cases" the paper's
+// Section 5 excepts — and so are jumps in dead code, which Agrawal's
+// postdominator/lexical test can include (it never consults
+// reachability from entry) but Lyle's betweenness excludes. The
+// checkable guarantee is therefore: every *live* Agrawal jump from
+// which the criterion is reachable appears in the Lyle slice. The number of cases where the exception bites (Lyle missing
+// a needed jump, and hence misbehaving) is logged as an experimental
+// result (EXPERIMENTS.md, E1).
+func TestPropertyLyleConservativeBetweenJumps(t *testing.T) {
+	total, unsound := 0, 0
+	forEachCase(t, progen.Unstructured, 60, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		ag, err := a.Agrawal(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		ly, err := baselines.Lyle(a, c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		seeds, err := a.CriterionNodes(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reachesCriterion := map[int]bool{}
+		var mark func(id int)
+		seen := map[int]bool{}
+		mark = func(id int) {
+			if seen[id] {
+				return
+			}
+			seen[id] = true
+			reachesCriterion[id] = true
+			for _, p := range a.CFG.Nodes[id].In {
+				mark(p)
+			}
+		}
+		for _, s := range seeds {
+			mark(s)
+		}
+		live := a.CFG.Reachable()
+		for _, id := range ag.StatementNodes() {
+			n := a.CFG.Nodes[id]
+			if n.Kind.IsJump() && live[id] && reachesCriterion[id] && !ly.Has(id) {
+				t.Errorf("seed %d %v: Lyle missing between-jump %v", seed, c, n)
+			}
+		}
+		total++
+		if !observationsEqual(t, a.Prog, ly) {
+			unsound++
+		}
+	})
+	t.Logf("Lyle degenerate-case failures: %d/%d criteria", unsound, total)
+}
+
+// TestPropertyConventionalOftenWrong quantifies the paper's
+// motivation: across the unstructured corpus, the conventional slice
+// changes observable behaviour in a nontrivial fraction of cases while
+// the Figure 7 slice never does (checked elsewhere). This guards
+// against the conventional baseline accidentally becoming jump-aware.
+func TestPropertyConventionalOftenWrong(t *testing.T) {
+	total, wrong := 0, 0
+	forEachCase(t, progen.Unstructured, 60, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+		s, err := a.Conventional(c)
+		if err != nil {
+			t.Fatalf("seed %d %v: %v", seed, c, err)
+		}
+		total++
+		if !observationsEqual(t, a.Prog, s) {
+			wrong++
+		}
+	})
+	if total == 0 {
+		t.Fatal("no cases generated")
+	}
+	t.Logf("conventional slices wrong on %d/%d unstructured cases", wrong, total)
+	if wrong == 0 {
+		t.Error("conventional slicing never misbehaved on the unstructured corpus — the baseline is suspiciously strong")
+	}
+}
+
+// TestPropertyMaterializedSlicesReparse: every Figure 7 slice of every
+// generated program round-trips through the printer and parser.
+func TestPropertyMaterializedSlicesReparse(t *testing.T) {
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			forEachCase(t, gen, 40, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+				s, err := a.Agrawal(c)
+				if err != nil {
+					t.Fatalf("seed %d %v: %v", seed, c, err)
+				}
+				src := lang.Format(s.Materialize(), lang.PrintOptions{})
+				if _, err := lang.Parse(src); err != nil {
+					t.Errorf("seed %d %v: slice does not reparse: %v\n%s", seed, c, err, src)
+				}
+			})
+		})
+	}
+}
+
+// TestPropertyWeiserEqualsConventional cross-validates the PDG-based
+// conventional engine against Weiser's original iterative dataflow
+// algorithm on both random corpora: two independent formulations of
+// "the jump-unaware slice" must agree node-for-node.
+func TestPropertyWeiserEqualsConventional(t *testing.T) {
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			forEachCase(t, gen, 80, func(t *testing.T, seed int64, a *core.Analysis, c core.Criterion) {
+				conv, err := a.Conventional(c)
+				if err != nil {
+					t.Fatalf("seed %d %v: %v", seed, c, err)
+				}
+				w, err := baselines.Weiser(a, c)
+				if err != nil {
+					t.Fatalf("seed %d %v: %v", seed, c, err)
+				}
+				if !reflect.DeepEqual(conv.StatementNodes(), w.StatementNodes()) {
+					t.Errorf("seed %d %v: conventional %v != weiser %v\nprogram:\n%s",
+						seed, c, conv.Lines(), w.Lines(),
+						lang.Format(a.Prog, lang.PrintOptions{LineNumbers: true}))
+				}
+			})
+		})
+	}
+}

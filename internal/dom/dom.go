@@ -1,0 +1,270 @@
+// Package dom computes dominator and postdominator trees.
+//
+// Two independent algorithms are provided: the iterative dataflow
+// algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance
+// Algorithm"), which is the package default, and the classic
+// Lengauer–Tarjan algorithm [20 in the paper's references]. The two
+// are cross-checked against each other by property tests.
+//
+// Postdominators are dominators of the reverse flowgraph, per the
+// paper's Section 3: "S' postdominates S if S' dominates S in the
+// reverse flowgraph". The cfg package exposes the reverse graph; this
+// package is graph-representation agnostic.
+package dom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directed is the minimal graph interface the algorithms need. Nodes
+// are identified by dense integer IDs 0..NumNodes()-1.
+type Directed interface {
+	NumNodes() int
+	Succs(i int) []int
+}
+
+// Reverse adapts a graph with predecessor access into a Directed view
+// of its reverse. cfg.Graph satisfies both directions.
+type reversed struct {
+	g interface {
+		NumNodes() int
+		Preds(i int) []int
+	}
+}
+
+func (r reversed) NumNodes() int     { return r.g.NumNodes() }
+func (r reversed) Succs(i int) []int { return r.g.Preds(i) }
+
+// Reverse returns the reverse of a graph that exposes predecessors.
+func Reverse(g interface {
+	NumNodes() int
+	Preds(i int) []int
+}) Directed {
+	return reversed{g}
+}
+
+// Tree is a dominator tree. For a postdominator tree, build it over
+// the reverse graph rooted at Exit; then Dominates(a, b) means "a
+// postdominates b" and Idom is the immediate postdominator.
+type Tree struct {
+	Root int
+	// Idom[v] is the immediate dominator of v, the root's Idom is the
+	// root itself, and unreachable nodes have Idom -1.
+	Idom []int
+	// children[v] lists v's dominator tree children in ascending ID
+	// order, giving deterministic traversals.
+	children [][]int
+	// pre/post order numbers for O(1) ancestor queries.
+	preNum, postNum []int
+}
+
+// Children returns v's children in the tree, in ascending ID order.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// Reachable reports whether v participates in the tree (is reachable
+// from the root in the underlying graph).
+func (t *Tree) Reachable(v int) bool { return v == t.Root || t.Idom[v] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively: every node
+// dominates itself). For trees built on the reverse graph this reads
+// "a postdominates b". Nodes not in the tree dominate nothing and are
+// dominated by nothing.
+func (t *Tree) Dominates(a, b int) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	return t.preNum[a] <= t.preNum[b] && t.postNum[b] <= t.postNum[a]
+}
+
+// StrictlyDominates reports a dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b int) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Preorder returns the tree's nodes in preorder: each node before its
+// children, children in ascending ID order. This is the traversal
+// order the paper's Figure 7 algorithm uses on the postdominator tree.
+func (t *Tree) Preorder() []int {
+	out := make([]int, 0, len(t.Idom))
+	var visit func(v int)
+	visit = func(v int) {
+		out = append(out, v)
+		for _, c := range t.children[v] {
+			visit(c)
+		}
+	}
+	visit(t.Root)
+	return out
+}
+
+// Walk calls fn for each tree ancestor of v starting at Idom[v] and
+// ending at the root (v itself is not visited). It stops early if fn
+// returns false. Walking from an unreachable node visits nothing.
+func (t *Tree) Walk(v int, fn func(ancestor int) bool) {
+	if !t.Reachable(v) {
+		return
+	}
+	for v != t.Root {
+		v = t.Idom[v]
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// finish computes children lists and pre/post numbering from Idom.
+func (t *Tree) finish() {
+	n := len(t.Idom)
+	t.children = make([][]int, n)
+	for v := 0; v < n; v++ {
+		if v == t.Root || t.Idom[v] < 0 {
+			continue
+		}
+		p := t.Idom[v]
+		t.children[p] = append(t.children[p], v)
+	}
+	for _, c := range t.children {
+		sort.Ints(c)
+	}
+	t.preNum = make([]int, n)
+	t.postNum = make([]int, n)
+	for i := range t.preNum {
+		t.preNum[i] = -1
+		t.postNum[i] = -1
+	}
+	// Iterative DFS to avoid recursion depth limits on long chains.
+	counter := 0
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{v: t.Root}}
+	t.preNum[t.Root] = counter
+	counter++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.children[f.v]) {
+			c := t.children[f.v][f.next]
+			f.next++
+			t.preNum[c] = counter
+			counter++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		t.postNum[f.v] = counter
+		counter++
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Dominators computes the dominator tree of g rooted at root using the
+// Cooper–Harvey–Kennedy iterative algorithm. Nodes unreachable from
+// root get Idom -1.
+func Dominators(g Directed, root int) *Tree {
+	n := g.NumNodes()
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("dom: root %d out of range [0,%d)", root, n))
+	}
+
+	// Reverse postorder of the reachable subgraph.
+	rpo := make([]int, 0, n)
+	seen := make([]bool, n)
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{v: root}}
+	seen[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.v)
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{v: s})
+			}
+			continue
+		}
+		rpo = append(rpo, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	// rpo currently holds postorder; reverse it.
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range rpo {
+		rpoNum[v] = i
+	}
+
+	// Predecessors restricted to reachable nodes.
+	preds := make([][]int, n)
+	for _, v := range rpo {
+		for _, s := range g.Succs(v) {
+			preds[s] = append(preds[s], v)
+		}
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[v] {
+				if idom[p] < 0 {
+					continue // p not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[root] = root
+
+	t := &Tree{Root: root, Idom: idom}
+	t.finish()
+	return t
+}
+
+// PostDominators computes the postdominator tree of a graph that
+// exposes predecessors, rooted at exit. It is Dominators on the
+// reverse graph.
+func PostDominators(g interface {
+	NumNodes() int
+	Preds(i int) []int
+}, exit int) *Tree {
+	return Dominators(Reverse(g), exit)
+}

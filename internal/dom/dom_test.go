@@ -1,0 +1,272 @@
+package dom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// adj is a simple adjacency-list graph for tests.
+type adj [][]int
+
+func (a adj) NumNodes() int     { return len(a) }
+func (a adj) Succs(i int) []int { return a[i] }
+func (a adj) Preds(i int) []int {
+	var out []int
+	for v, ss := range a {
+		for _, s := range ss {
+			if s == i {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// bruteDominators computes dominators from the definition: v dominates
+// u iff every path from root to u passes through v, i.e. u is
+// unreachable from root when v is removed.
+func bruteDominators(g adj, root int) [][]bool {
+	n := g.NumNodes()
+	reach := func(skip int) []bool {
+		seen := make([]bool, n)
+		if root == skip {
+			return seen
+		}
+		stack := []int{root}
+		seen[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g[v] {
+				if s != skip && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return seen
+	}
+	base := reach(-1)
+	dom := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		dom[v] = make([]bool, n)
+		if !base[v] {
+			continue
+		}
+		without := reach(v)
+		for u := 0; u < n; u++ {
+			if base[u] && (u == v || !without[u]) {
+				dom[v][u] = true
+			}
+		}
+	}
+	return dom
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//     \ /
+	//      3
+	g := adj{{1, 2}, {3}, {3}, {}}
+	for name, tree := range map[string]*Tree{
+		"iterative": Dominators(g, 0),
+		"lt":        DominatorsLT(g, 0),
+	} {
+		want := []int{0, 0, 0, 0}
+		if !reflect.DeepEqual(tree.Idom, want) {
+			t.Errorf("%s: Idom = %v, want %v", name, tree.Idom, want)
+		}
+		if !tree.Dominates(0, 3) {
+			t.Errorf("%s: 0 should dominate 3", name)
+		}
+		if tree.Dominates(1, 3) {
+			t.Errorf("%s: 1 should not dominate 3", name)
+		}
+		if !tree.Dominates(2, 2) {
+			t.Errorf("%s: dominance should be reflexive", name)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, 2 -> 1 (loop), 1 -> 4
+	g := adj{{1}, {2, 4}, {3, 1}, {}, {}}
+	tree := Dominators(g, 0)
+	want := []int{0, 0, 1, 2, 1}
+	if !reflect.DeepEqual(tree.Idom, want) {
+		t.Errorf("Idom = %v, want %v", tree.Idom, want)
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := adj{{1}, {}, {1}} // node 2 unreachable from 0
+	tree := Dominators(g, 0)
+	if tree.Reachable(2) {
+		t.Error("node 2 should be unreachable")
+	}
+	if tree.Idom[2] != -1 {
+		t.Errorf("Idom[2] = %d, want -1", tree.Idom[2])
+	}
+	if tree.Dominates(2, 1) || tree.Dominates(0, 2) {
+		t.Error("unreachable nodes neither dominate nor are dominated")
+	}
+}
+
+func TestPostDominatorsStraightLine(t *testing.T) {
+	// 0 -> 1 -> 2 (exit)
+	g := adj{{1}, {2}, {}}
+	tree := PostDominators(g, 2)
+	if !tree.Dominates(2, 0) || !tree.Dominates(1, 0) {
+		t.Error("later nodes should postdominate earlier ones in a straight line")
+	}
+	if tree.Dominates(0, 1) {
+		t.Error("0 should not postdominate 1")
+	}
+	if got := tree.Idom[0]; got != 1 {
+		t.Errorf("ipdom(0) = %d, want 1", got)
+	}
+}
+
+func TestPreorderParentFirst(t *testing.T) {
+	g := adj{{1, 2}, {3}, {3}, {4}, {}}
+	tree := Dominators(g, 0)
+	order := tree.Preorder()
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := range tree.Idom {
+		if v == tree.Root || !tree.Reachable(v) {
+			continue
+		}
+		if pos[tree.Idom[v]] >= pos[v] {
+			t.Errorf("parent %d visited after child %d", tree.Idom[v], v)
+		}
+	}
+	if len(order) != 5 {
+		t.Errorf("preorder visited %d nodes, want 5", len(order))
+	}
+}
+
+func TestWalkAncestors(t *testing.T) {
+	// chain 0 -> 1 -> 2 -> 3
+	g := adj{{1}, {2}, {3}, {}}
+	tree := Dominators(g, 0)
+	var seen []int
+	tree.Walk(3, func(a int) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []int{2, 1, 0}) {
+		t.Errorf("Walk(3) = %v, want [2 1 0]", seen)
+	}
+	// Early stop.
+	seen = nil
+	tree.Walk(3, func(a int) bool {
+		seen = append(seen, a)
+		return false
+	})
+	if !reflect.DeepEqual(seen, []int{2}) {
+		t.Errorf("Walk with stop = %v, want [2]", seen)
+	}
+}
+
+// randomGraph builds a random rooted digraph where node 0 reaches a
+// good fraction of nodes.
+func randomGraph(rng *rand.Rand, n int) adj {
+	g := make(adj, n)
+	for v := 1; v < n; v++ {
+		// Ensure likely reachability with an edge from a smaller node.
+		from := rng.Intn(v)
+		g[from] = append(g[from], v)
+	}
+	extra := n * 2
+	for i := 0; i < extra; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		g[from] = append(g[from], to)
+	}
+	return g
+}
+
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		g := randomGraph(rng, n)
+		tree := Dominators(g, 0)
+		want := bruteDominators(g, 0)
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if got := tree.Dominates(v, u); got != want[v][u] {
+					t.Fatalf("trial %d graph %v: Dominates(%d,%d) = %v, want %v",
+						trial, g, v, u, got, want[v][u])
+				}
+			}
+		}
+	}
+}
+
+func TestLengauerTarjanMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n)
+		a := Dominators(g, 0)
+		b := DominatorsLT(g, 0)
+		if !reflect.DeepEqual(a.Idom, b.Idom) {
+			t.Fatalf("trial %d graph %v:\niterative Idom = %v\nLT Idom        = %v",
+				trial, g, a.Idom, b.Idom)
+		}
+	}
+}
+
+func TestPostDominatorsLTMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n)
+		// Use node 0 as "exit" of the reverse graph; any root works
+		// for the equivalence check.
+		a := PostDominators(g, 0)
+		b := PostDominatorsLT(g, 0)
+		if !reflect.DeepEqual(a.Idom, b.Idom) {
+			t.Fatalf("trial %d: postdom mismatch\niterative = %v\nLT = %v", trial, a.Idom, b.Idom)
+		}
+	}
+}
+
+func TestDominanceIsPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		g := randomGraph(rng, n)
+		tree := Dominators(g, 0)
+		for a := 0; a < n; a++ {
+			if tree.Reachable(a) && !tree.Dominates(a, a) {
+				t.Fatalf("not reflexive at %d", a)
+			}
+			for b := 0; b < n; b++ {
+				if a != b && tree.Dominates(a, b) && tree.Dominates(b, a) {
+					t.Fatalf("antisymmetry violated for %d,%d", a, b)
+				}
+				for c := 0; c < n; c++ {
+					if tree.Dominates(a, b) && tree.Dominates(b, c) && !tree.Dominates(a, c) {
+						t.Fatalf("transitivity violated for %d,%d,%d", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRootOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range root")
+		}
+	}()
+	Dominators(adj{{}}, 5)
+}

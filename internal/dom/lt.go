@@ -1,0 +1,152 @@
+package dom
+
+// DominatorsLT computes the dominator tree of g rooted at root using
+// the Lengauer–Tarjan algorithm (the "simple" variant with path
+// compression). It produces exactly the same tree as Dominators; the
+// duplication exists because the paper's construction (Section 3)
+// cites Lengauer–Tarjan [20] for postdominator trees, and having two
+// independent implementations lets the tests cross-validate them.
+func DominatorsLT(g Directed, root int) *Tree {
+	n := g.NumNodes()
+
+	// DFS numbering.
+	const unvisited = -1
+	dfnum := make([]int, n)
+	for i := range dfnum {
+		dfnum[i] = unvisited
+	}
+	vertex := make([]int, 0, n) // vertex[i] = node with dfnum i
+	parent := make([]int, n)    // DFS tree parent (as node ID)
+
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{v: root}}
+	dfnum[root] = 0
+	parent[root] = -1
+	vertex = append(vertex, root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.v)
+		if f.next < len(succs) {
+			w := succs[f.next]
+			f.next++
+			if dfnum[w] == unvisited {
+				dfnum[w] = len(vertex)
+				vertex = append(vertex, w)
+				parent[w] = f.v
+				stack = append(stack, frame{v: w})
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+	}
+	reach := len(vertex)
+
+	// Predecessors restricted to reachable nodes.
+	preds := make([][]int, n)
+	for _, v := range vertex {
+		for _, w := range g.Succs(v) {
+			if dfnum[w] != unvisited {
+				preds[w] = append(preds[w], v)
+			}
+		}
+	}
+
+	semi := make([]int, n)     // semidominator dfnum
+	ancestor := make([]int, n) // forest ancestor, -1 if root of its tree
+	label := make([]int, n)    // node with minimal semi on the path
+	idom := make([]int, n)
+	samedom := make([]int, n)
+	bucket := make([][]int, n)
+	for i := 0; i < n; i++ {
+		semi[i] = -1
+		ancestor[i] = -1
+		label[i] = i
+		idom[i] = -1
+		samedom[i] = -1
+	}
+
+	// ancestorWithLowestSemi with path compression (iterative).
+	var compress func(v int) int
+	compress = func(v int) int {
+		// Collect the path to the forest root.
+		var path []int
+		for ancestor[ancestor[v]] != -1 {
+			path = append(path, v)
+			v = ancestor[v]
+		}
+		// v's ancestor is a forest root; unwind.
+		for i := len(path) - 1; i >= 0; i-- {
+			w := path[i]
+			a := ancestor[w]
+			if semi[label[a]] < semi[label[w]] {
+				label[w] = label[a]
+			}
+			ancestor[w] = ancestor[a]
+		}
+		if len(path) > 0 {
+			return path[0]
+		}
+		return v
+	}
+	eval := func(v int) int {
+		if ancestor[v] == -1 {
+			return label[v]
+		}
+		compress(v)
+		return label[v]
+	}
+
+	for i := reach - 1; i >= 1; i-- {
+		w := vertex[i]
+		p := parent[w]
+		s := dfnum[p]
+		for _, v := range preds[w] {
+			var sPrime int
+			if dfnum[v] <= dfnum[w] {
+				sPrime = dfnum[v]
+			} else {
+				sPrime = semi[eval(v)]
+			}
+			if sPrime < s {
+				s = sPrime
+			}
+		}
+		semi[w] = s
+		sv := vertex[s]
+		bucket[sv] = append(bucket[sv], w)
+		// link(p, w)
+		ancestor[w] = p
+
+		for _, v := range bucket[p] {
+			y := eval(v)
+			if semi[y] == semi[v] {
+				idom[v] = p
+			} else {
+				samedom[v] = y
+			}
+		}
+		bucket[p] = nil
+	}
+	for i := 1; i < reach; i++ {
+		w := vertex[i]
+		if samedom[w] != -1 {
+			idom[w] = idom[samedom[w]]
+		}
+	}
+	idom[root] = root
+
+	t := &Tree{Root: root, Idom: idom}
+	t.finish()
+	return t
+}
+
+// PostDominatorsLT is DominatorsLT on the reverse graph.
+func PostDominatorsLT(g interface {
+	NumNodes() int
+	Preds(i int) []int
+}, exit int) *Tree {
+	return DominatorsLT(Reverse(g), exit)
+}

@@ -1,0 +1,406 @@
+// Package interp executes lang programs. It drives execution over the
+// control flowgraph rather than the AST, which makes every jump
+// statement — goto included — a plain edge traversal.
+//
+// Its purpose in this repository is semantic validation of slices
+// (Weiser's criterion): on a terminating run, a correct slice produces
+// the same sequence of values for the criterion variable at the
+// criterion line as the original program, given the same input. The
+// interpreter records exactly that observation sequence.
+//
+// The paper's example programs call uninterpreted functions (f1(x),
+// eof(), …). The interpreter binds eof() to the input stream and every
+// other intrinsic to a deterministic pure mixing function, preserving
+// the only property slicing relies on: same inputs, same outputs.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+)
+
+// ErrStepBudget is returned when a run exceeds its step budget —
+// usually a non-terminating program.
+var ErrStepBudget = errors.New("interp: step budget exceeded")
+
+// Intrinsic is a pure function callable from programs.
+type Intrinsic func(args []int64) int64
+
+// Options configures a run.
+type Options struct {
+	// Input is the stream consumed by read(); eof() reports whether it
+	// is exhausted. Reading past the end yields 0.
+	Input []int64
+	// Intrinsics maps function names to implementations. Names not
+	// present fall back to a deterministic hash-based mixer, so any
+	// program runs without configuration. eof is always bound to the
+	// input stream and cannot be overridden.
+	Intrinsics map[string]Intrinsic
+	// MaxSteps bounds the number of node executions; 0 means 200000.
+	MaxSteps int
+	// ObserveVar/ObserveLine, when ObserveLine > 0, record the value
+	// of the variable each time a statement at that line that uses or
+	// defines it executes — after execution for defining statements,
+	// before otherwise.
+	ObserveVar  string
+	ObserveLine int
+	// CollectTrace records the execution trace: the node ID of every
+	// executed node, in order (Entry included, Exit excluded). Used by
+	// the dynamic slicer.
+	CollectTrace bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Output collects the values passed to write(), in order.
+	Output []int64
+	// Observations is the criterion-variable value sequence (see
+	// Options.ObserveVar).
+	Observations []int64
+	// Steps is the number of node executions performed.
+	Steps int
+	// Returned reports whether the program ended via a return
+	// statement; HasValue/Value carry its operand when present.
+	Returned bool
+	HasValue bool
+	Value    int64
+	// Env is the final variable environment.
+	Env map[string]int64
+	// Trace holds the executed node IDs in order when
+	// Options.CollectTrace is set.
+	Trace []int
+}
+
+// Run executes the program and returns the result. It builds the
+// flowgraph internally; use RunCFG to reuse one.
+func Run(p *lang.Program, opts Options) (*Result, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return RunCFG(g, opts)
+}
+
+// RunCFG executes a program through its prebuilt flowgraph.
+func RunCFG(g *cfg.Graph, opts Options) (*Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200000
+	}
+	st := &state{
+		g:    g,
+		opts: opts,
+		env:  map[string]int64{},
+		res:  &Result{},
+	}
+	node := g.Entry
+	for {
+		if node.Kind == cfg.KindExit {
+			break
+		}
+		st.res.Steps++
+		if opts.CollectTrace {
+			st.res.Trace = append(st.res.Trace, node.ID)
+		}
+		if st.res.Steps > maxSteps {
+			return st.res, fmt.Errorf("%w after %d steps", ErrStepBudget, maxSteps)
+		}
+		next, err := st.exec(node)
+		if err != nil {
+			return st.res, err
+		}
+		node = next
+	}
+	st.res.Env = st.env
+	return st.res, nil
+}
+
+type state struct {
+	g    *cfg.Graph
+	opts Options
+	env  map[string]int64
+	res  *Result
+	// inputPos tracks consumption of Options.Input.
+	inputPos int
+}
+
+// observes reports whether node n is an observation point for the
+// configured criterion.
+func (st *state) observes(n *cfg.Node) bool {
+	if st.opts.ObserveLine == 0 || n.Line != st.opts.ObserveLine || n.Stmt == nil {
+		return false
+	}
+	if lang.Def(n.Stmt) == st.opts.ObserveVar {
+		return true
+	}
+	for _, u := range lang.Uses(n.Stmt) {
+		if u == st.opts.ObserveVar {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *state) record() {
+	st.res.Observations = append(st.res.Observations, st.env[st.opts.ObserveVar])
+}
+
+// exec executes one node and returns the successor to continue at.
+func (st *state) exec(n *cfg.Node) (*cfg.Node, error) {
+	observing := st.observes(n)
+	defines := observing && n.Stmt != nil && lang.Def(n.Stmt) == st.opts.ObserveVar
+	if observing && !defines {
+		st.record()
+	}
+
+	var next *cfg.Node
+	switch n.Kind {
+	case cfg.KindEntry:
+		// Follow the program edge ("T"), not the virtual exit edge.
+		next = st.succ(n, "T")
+	case cfg.KindAssign:
+		a := lang.Unlabel(n.Stmt).(*lang.AssignStmt)
+		v, err := st.eval(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		st.env[a.Name] = v
+		next = st.succ(n, "")
+	case cfg.KindRead:
+		r := lang.Unlabel(n.Stmt).(*lang.ReadStmt)
+		var v int64
+		if st.inputPos < len(st.opts.Input) {
+			v = st.opts.Input[st.inputPos]
+			st.inputPos++
+		}
+		st.env[r.Name] = v
+		next = st.succ(n, "")
+	case cfg.KindWrite:
+		w := lang.Unlabel(n.Stmt).(*lang.WriteStmt)
+		v, err := st.eval(w.Value)
+		if err != nil {
+			return nil, err
+		}
+		st.res.Output = append(st.res.Output, v)
+		next = st.succ(n, "")
+	case cfg.KindPredicate:
+		cond, err := st.eval(predCond(n.Stmt))
+		if err != nil {
+			return nil, err
+		}
+		if cond != 0 {
+			next = st.succ(n, "T")
+		} else {
+			next = st.succ(n, "F")
+		}
+	case cfg.KindSwitch:
+		sw := lang.Unlabel(n.Stmt).(*lang.SwitchStmt)
+		tag, err := st.eval(sw.Tag)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", tag)
+		next = st.succ(n, label)
+		if next == nil {
+			next = st.succ(n, "default")
+		}
+	case cfg.KindGoto, cfg.KindBreak, cfg.KindContinue:
+		next = st.g.Nodes[n.Out[0].To]
+	case cfg.KindReturn:
+		r := lang.Unlabel(n.Stmt).(*lang.ReturnStmt)
+		st.res.Returned = true
+		if r.Value != nil {
+			v, err := st.eval(r.Value)
+			if err != nil {
+				return nil, err
+			}
+			st.res.HasValue = true
+			st.res.Value = v
+		}
+		next = st.g.Exit
+	case cfg.KindSkip:
+		next = st.succ(n, "")
+	default:
+		return nil, fmt.Errorf("interp: cannot execute node %v", n)
+	}
+	if next == nil {
+		return nil, fmt.Errorf("interp: node %v has no successor to follow", n)
+	}
+	if defines {
+		st.record()
+	}
+	return next, nil
+}
+
+// succ returns the successor along the edge with the given label, or
+// the sole successor when label is "".
+func (st *state) succ(n *cfg.Node, label string) *cfg.Node {
+	if label == "" {
+		if len(n.Out) == 0 {
+			return nil
+		}
+		return st.g.Nodes[n.Out[0].To]
+	}
+	for _, e := range n.Out {
+		if e.Label == label {
+			return st.g.Nodes[e.To]
+		}
+	}
+	return nil
+}
+
+func predCond(s lang.Stmt) lang.Expr {
+	switch s := lang.Unlabel(s).(type) {
+	case *lang.IfStmt:
+		return s.Cond
+	case *lang.WhileStmt:
+		return s.Cond
+	}
+	panic(fmt.Sprintf("interp: predicate node with statement %T", s))
+}
+
+// eval evaluates an expression. Arithmetic is total: division or
+// modulo by zero yields 0, so every run is deterministic and defined.
+func (st *state) eval(e lang.Expr) (int64, error) {
+	switch e := e.(type) {
+	case nil:
+		return 0, nil
+	case *lang.IntLit:
+		return e.Value, nil
+	case *lang.Ident:
+		return st.env[e.Name], nil
+	case *lang.CallExpr:
+		args := make([]int64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := st.eval(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return st.call(e.Name, args)
+	case *lang.UnaryExpr:
+		x, err := st.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "-":
+			return -x, nil
+		}
+		return 0, fmt.Errorf("interp: unknown unary operator %q", e.Op)
+	case *lang.BinaryExpr:
+		x, err := st.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		// && and || short-circuit like C.
+		switch e.Op {
+		case "&&":
+			if x == 0 {
+				return 0, nil
+			}
+			y, err := st.eval(e.Y)
+			if err != nil {
+				return 0, err
+			}
+			return truth(y != 0), nil
+		case "||":
+			if x != 0 {
+				return 1, nil
+			}
+			y, err := st.eval(e.Y)
+			if err != nil {
+				return 0, err
+			}
+			return truth(y != 0), nil
+		}
+		y, err := st.eval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, nil
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, nil
+			}
+			return x % y, nil
+		case "==":
+			return truth(x == y), nil
+		case "!=":
+			return truth(x != y), nil
+		case "<":
+			return truth(x < y), nil
+		case "<=":
+			return truth(x <= y), nil
+		case ">":
+			return truth(x > y), nil
+		case ">=":
+			return truth(x >= y), nil
+		}
+		return 0, fmt.Errorf("interp: unknown binary operator %q", e.Op)
+	}
+	return 0, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func truth(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// call dispatches an intrinsic. eof is built in; unknown names use a
+// deterministic FNV-based mixer so any program runs unconfigured.
+func (st *state) call(name string, args []int64) (int64, error) {
+	if name == "eof" {
+		return truth(st.inputPos >= len(st.opts.Input)), nil
+	}
+	if fn, ok := st.opts.Intrinsics[name]; ok {
+		return fn(args), nil
+	}
+	return DefaultIntrinsic(name, args), nil
+}
+
+// DefaultIntrinsic is the fallback for uninterpreted functions: a pure
+// deterministic mix of the function name and its arguments, bounded to
+// a small range so arithmetic on results stays tame.
+func DefaultIntrinsic(name string, args []int64) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	acc := int64(h.Sum64() % 1009)
+	for i, a := range args {
+		acc += (a%1009 + 1009) % 1009 * int64(i+3)
+	}
+	return acc % 1000
+}
+
+// Observe is a convenience wrapper: run the program and return the
+// observation sequence for (varName, line).
+func Observe(p *lang.Program, input []int64, varName string, line int) ([]int64, error) {
+	res, err := Run(p, Options{Input: input, ObserveVar: varName, ObserveLine: line})
+	if err != nil {
+		return nil, err
+	}
+	return res.Observations, nil
+}

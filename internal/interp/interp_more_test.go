@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/lang"
+	"jumpslice/internal/progen"
+)
+
+func TestTraceCollection(t *testing.T) {
+	res, err := Run(lang.MustParse("x = 1;\ny = 2;\nwrite(x + y);"), Options{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry + three statements.
+	if len(res.Trace) != 4 {
+		t.Errorf("trace length = %d, want 4", len(res.Trace))
+	}
+	if res.Trace[0] != 0 {
+		t.Errorf("trace should start at entry (node 0), got %d", res.Trace[0])
+	}
+	// Without the flag, no trace is recorded.
+	res2, err := Run(lang.MustParse("x = 1;"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Errorf("trace recorded without CollectTrace: %v", res2.Trace)
+	}
+}
+
+func TestSkipNodesExecute(t *testing.T) {
+	// Empty statements and empty blocks flow through.
+	res, err := Run(lang.MustParse(";\nL: ;\n{}\nwrite(5);"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{5}) {
+		t.Errorf("output = %v, want [5]", res.Output)
+	}
+}
+
+func TestFinalEnvironment(t *testing.T) {
+	res, err := Run(lang.MustParse("a = 3;\nb = a * a;"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Env["a"] != 3 || res.Env["b"] != 9 {
+		t.Errorf("env = %v", res.Env)
+	}
+}
+
+func TestReturnWithoutValue(t *testing.T) {
+	res, err := Run(lang.MustParse("return;"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Returned || res.HasValue {
+		t.Errorf("returned=%v hasValue=%v, want true/false", res.Returned, res.HasValue)
+	}
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	res, err := Run(lang.MustParse("x = 9;\nswitch (x) {\ncase 1:\nwrite(1);\n}\nwrite(2);"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{2}) {
+		t.Errorf("output = %v, want [2]", res.Output)
+	}
+}
+
+func TestNegativeSwitchTag(t *testing.T) {
+	res, err := Run(lang.MustParse("x = 0 - 2;\nswitch (x) {\ncase 1:\nwrite(1);\ndefault:\nwrite(9);\n}"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{9}) {
+		t.Errorf("output = %v, want [9]", res.Output)
+	}
+}
+
+// TestInterpreterDeterministic: two runs of the same generated program
+// on the same input are identical in output, steps and trace.
+func TestInterpreterDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := progen.Unstructured(progen.Config{Seed: seed, Stmts: 25})
+		in := []int64{seed, -seed, 3}
+		r1, err := Run(p, Options{Input: in, CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(p, Options{Input: in, CollectTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Output, r2.Output) || r1.Steps != r2.Steps ||
+			!reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Fatalf("seed %d: nondeterministic interpretation", seed)
+		}
+	}
+}
+
+func TestObservationAtPredicateLine(t *testing.T) {
+	// Observing a variable used by a predicate records at each test.
+	obs, err := Observe(lang.MustParse("i = 0;\nwhile (i < 2) {\ni = i + 1;\n}"), nil, "i", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(obs, []int64{0, 1, 2}) {
+		t.Errorf("observations = %v, want [0 1 2]", obs)
+	}
+}
+
+func TestEOFIntrinsicNotOverridable(t *testing.T) {
+	res, err := Run(lang.MustParse("write(eof());"), Options{
+		Input: []int64{1},
+		Intrinsics: map[string]Intrinsic{
+			"eof": func([]int64) int64 { return 42 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{0}) {
+		t.Errorf("eof() = %v, want [0] (built-in wins)", res.Output)
+	}
+}

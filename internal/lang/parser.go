@@ -1,0 +1,453 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for the language. Use Parse or
+// MustParse rather than constructing one directly.
+type Parser struct {
+	lx   *Lexer
+	buf  []Token // lookahead buffer
+	err  *SyntaxError
+	prog *Program
+}
+
+// Parse parses source text into a Program. It returns the first
+// syntax or semantic error encountered (duplicate label, goto to an
+// undefined label, break/continue outside a loop or switch, duplicate
+// case value, multiple defaults).
+func Parse(src string) (*Program, error) {
+	p := &Parser{lx: NewLexer(src), prog: &Program{Labels: map[string]*LabeledStmt{}}}
+	for p.peek().Kind != EOF && p.err == nil {
+		p.prog.Body = append(p.prog.Body, p.parseStmt())
+	}
+	if p.err == nil {
+		if lerr := p.lx.Err(); lerr != nil {
+			return nil, lerr
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse but panics on error. It is intended for the
+// built-in corpus and tests, where the source is known-good.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang.MustParse: %v", err))
+	}
+	return prog
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	if p.err == nil {
+		p.err = &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (p *Parser) peek() Token { return p.peekN(0) }
+
+func (p *Parser) peekN(n int) Token {
+	for len(p.buf) <= n {
+		p.buf = append(p.buf, p.lx.Next())
+	}
+	return p.buf[n]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	p.buf = p.buf[1:]
+	return t
+}
+
+func (p *Parser) expect(k TokenKind) Token {
+	t := p.peek()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return Token{Kind: k, Pos: t.Pos}
+	}
+	return p.next()
+}
+
+// ---------------------------------------------------------------------
+// Statements.
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.peek()
+	if p.err != nil {
+		// Error recovery is deliberately absent: return an empty
+		// statement so parsing terminates promptly after the first
+		// error.
+		return &EmptyStmt{P: t.Pos}
+	}
+	switch t.Kind {
+	case IDENT:
+		if p.peekN(1).Kind == Colon {
+			return p.parseLabeled()
+		}
+		return p.parseAssign()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwSwitch:
+		return p.parseSwitch()
+	case LBrace:
+		return p.parseBlock()
+	case KwGoto:
+		p.next()
+		target := p.expect(IDENT)
+		p.expect(Semi)
+		return &GotoStmt{P: t.Pos, Label: target.Text}
+	case KwBreak:
+		p.next()
+		p.expect(Semi)
+		return &BreakStmt{P: t.Pos}
+	case KwContinue:
+		p.next()
+		p.expect(Semi)
+		return &ContinueStmt{P: t.Pos}
+	case KwReturn:
+		p.next()
+		var val Expr
+		if p.peek().Kind != Semi {
+			val = p.parseExpr()
+		}
+		p.expect(Semi)
+		return &ReturnStmt{P: t.Pos, Value: val}
+	case KwRead:
+		p.next()
+		p.expect(LParen)
+		name := p.expect(IDENT)
+		p.expect(RParen)
+		p.expect(Semi)
+		return &ReadStmt{P: t.Pos, Name: name.Text}
+	case KwWrite:
+		p.next()
+		p.expect(LParen)
+		val := p.parseExpr()
+		p.expect(RParen)
+		p.expect(Semi)
+		return &WriteStmt{P: t.Pos, Value: val}
+	case Semi:
+		p.next()
+		return &EmptyStmt{P: t.Pos}
+	default:
+		p.errorf(t.Pos, "expected statement, found %s", t)
+		p.next()
+		return &EmptyStmt{P: t.Pos}
+	}
+}
+
+func (p *Parser) parseLabeled() Stmt {
+	name := p.expect(IDENT)
+	p.expect(Colon)
+	inner := p.parseStmt()
+	l := &LabeledStmt{P: name.Pos, Label: name.Text, Stmt: inner}
+	if _, dup := p.prog.Labels[name.Text]; dup {
+		p.errorf(name.Pos, "duplicate label %q", name.Text)
+	} else {
+		p.prog.Labels[name.Text] = l
+	}
+	return l
+}
+
+func (p *Parser) parseAssign() Stmt {
+	name := p.expect(IDENT)
+	p.expect(Assign)
+	val := p.parseExpr()
+	p.expect(Semi)
+	return &AssignStmt{P: name.Pos, Name: name.Text, Value: val}
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.expect(KwIf)
+	p.expect(LParen)
+	cond := p.parseExpr()
+	p.expect(RParen)
+	then := p.parseStmt()
+	var els Stmt
+	if p.peek().Kind == KwElse {
+		p.next()
+		els = p.parseStmt()
+	}
+	return &IfStmt{P: t.Pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseWhile() Stmt {
+	t := p.expect(KwWhile)
+	p.expect(LParen)
+	cond := p.parseExpr()
+	p.expect(RParen)
+	body := p.parseStmt()
+	return &WhileStmt{P: t.Pos, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseSwitch() Stmt {
+	t := p.expect(KwSwitch)
+	p.expect(LParen)
+	tag := p.parseExpr()
+	p.expect(RParen)
+	p.expect(LBrace)
+	sw := &SwitchStmt{P: t.Pos, Tag: tag}
+	for p.err == nil {
+		tok := p.peek()
+		switch tok.Kind {
+		case KwCase:
+			p.next()
+			c := &CaseClause{P: tok.Pos}
+			for {
+				v := p.expect(INT)
+				var n int64
+				fmt.Sscanf(v.Text, "%d", &n)
+				c.Values = append(c.Values, n)
+				if p.peek().Kind != Comma {
+					break
+				}
+				p.next()
+			}
+			p.expect(Colon)
+			c.Body = p.parseCaseBody()
+			sw.Cases = append(sw.Cases, c)
+		case KwDefault:
+			p.next()
+			p.expect(Colon)
+			c := &CaseClause{P: tok.Pos, IsDefault: true}
+			c.Body = p.parseCaseBody()
+			sw.Cases = append(sw.Cases, c)
+		case RBrace:
+			p.next()
+			return sw
+		default:
+			p.errorf(tok.Pos, "expected 'case', 'default' or '}' in switch, found %s", tok)
+			return sw
+		}
+	}
+	return sw
+}
+
+// parseCaseBody parses statements until the next case, default, or the
+// closing brace of the switch.
+func (p *Parser) parseCaseBody() []Stmt {
+	var body []Stmt
+	for p.err == nil {
+		switch p.peek().Kind {
+		case KwCase, KwDefault, RBrace, EOF:
+			return body
+		}
+		body = append(body, p.parseStmt())
+	}
+	return body
+}
+
+func (p *Parser) parseBlock() Stmt {
+	t := p.expect(LBrace)
+	blk := &BlockStmt{P: t.Pos}
+	for p.err == nil && p.peek().Kind != RBrace {
+		if p.peek().Kind == EOF {
+			p.errorf(t.Pos, "unterminated block (missing '}')")
+			return blk
+		}
+		blk.List = append(blk.List, p.parseStmt())
+	}
+	p.expect(RBrace)
+	return blk
+}
+
+// ---------------------------------------------------------------------
+// Expressions (precedence climbing).
+
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	x := p.parseAnd()
+	for p.peek().Kind == OrOr {
+		t := p.next()
+		x = &BinaryExpr{P: t.Pos, Op: "||", X: x, Y: p.parseAnd()}
+	}
+	return x
+}
+
+func (p *Parser) parseAnd() Expr {
+	x := p.parseCmp()
+	for p.peek().Kind == AndAnd {
+		t := p.next()
+		x = &BinaryExpr{P: t.Pos, Op: "&&", X: x, Y: p.parseCmp()}
+	}
+	return x
+}
+
+var cmpOps = map[TokenKind]string{
+	Eq: "==", Neq: "!=", Lt: "<", Leq: "<=", Gt: ">", Geq: ">=",
+}
+
+func (p *Parser) parseCmp() Expr {
+	x := p.parseAdd()
+	for {
+		op, ok := cmpOps[p.peek().Kind]
+		if !ok {
+			return x
+		}
+		t := p.next()
+		x = &BinaryExpr{P: t.Pos, Op: op, X: x, Y: p.parseAdd()}
+	}
+}
+
+func (p *Parser) parseAdd() Expr {
+	x := p.parseMul()
+	for {
+		var op string
+		switch p.peek().Kind {
+		case Plus:
+			op = "+"
+		case Minus:
+			op = "-"
+		default:
+			return x
+		}
+		t := p.next()
+		x = &BinaryExpr{P: t.Pos, Op: op, X: x, Y: p.parseMul()}
+	}
+}
+
+func (p *Parser) parseMul() Expr {
+	x := p.parseUnary()
+	for {
+		var op string
+		switch p.peek().Kind {
+		case Star:
+			op = "*"
+		case Slash:
+			op = "/"
+		case Percent:
+			op = "%"
+		default:
+			return x
+		}
+		t := p.next()
+		x = &BinaryExpr{P: t.Pos, Op: op, X: x, Y: p.parseUnary()}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.peek().Kind {
+	case Not:
+		t := p.next()
+		return &UnaryExpr{P: t.Pos, Op: "!", X: p.parseUnary()}
+	case Minus:
+		t := p.next()
+		return &UnaryExpr{P: t.Pos, Op: "-", X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.next()
+		var n int64
+		fmt.Sscanf(t.Text, "%d", &n)
+		return &IntLit{P: t.Pos, Value: n}
+	case IDENT:
+		p.next()
+		if p.peek().Kind == LParen {
+			p.next()
+			call := &CallExpr{P: t.Pos, Name: t.Text}
+			if p.peek().Kind != RParen {
+				for {
+					call.Args = append(call.Args, p.parseExpr())
+					if p.peek().Kind != Comma {
+						break
+					}
+					p.next()
+				}
+			}
+			p.expect(RParen)
+			return call
+		}
+		return &Ident{P: t.Pos, Name: t.Text}
+	case LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RParen)
+		return x
+	default:
+		p.errorf(t.Pos, "expected expression, found %s", t)
+		p.next()
+		return &IntLit{P: t.Pos}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Post-parse validation.
+
+// validate checks context-sensitive rules: goto targets exist,
+// break/continue are properly enclosed, switch cases are well-formed.
+func (p *Parser) validate() error {
+	var err error
+	report := func(pos Pos, format string, args ...any) {
+		if err == nil {
+			err = &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+		}
+	}
+
+	var check func(s Stmt, inLoop, inSwitch bool)
+	check = func(s Stmt, inLoop, inSwitch bool) {
+		switch s := s.(type) {
+		case nil:
+		case *GotoStmt:
+			if _, ok := p.prog.Labels[s.Label]; !ok {
+				report(s.P, "goto to undefined label %q", s.Label)
+			}
+		case *BreakStmt:
+			if !inLoop && !inSwitch {
+				report(s.P, "break outside loop or switch")
+			}
+		case *ContinueStmt:
+			if !inLoop {
+				report(s.P, "continue outside loop")
+			}
+		case *IfStmt:
+			check(s.Then, inLoop, inSwitch)
+			check(s.Else, inLoop, inSwitch)
+		case *WhileStmt:
+			check(s.Body, true, false)
+		case *SwitchStmt:
+			seen := map[int64]bool{}
+			defaults := 0
+			for _, c := range s.Cases {
+				if c.IsDefault {
+					defaults++
+					if defaults > 1 {
+						report(c.P, "multiple default clauses in switch")
+					}
+				}
+				for _, v := range c.Values {
+					if seen[v] {
+						report(c.P, "duplicate case value %d", v)
+					}
+					seen[v] = true
+				}
+				for _, st := range c.Body {
+					check(st, inLoop, true)
+				}
+			}
+		case *BlockStmt:
+			for _, st := range s.List {
+				check(st, inLoop, inSwitch)
+			}
+		case *LabeledStmt:
+			check(s.Stmt, inLoop, inSwitch)
+		}
+	}
+	for _, s := range p.prog.Body {
+		check(s, false, false)
+	}
+	return err
+}

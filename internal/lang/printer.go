@@ -1,0 +1,301 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintOptions controls pretty-printing.
+type PrintOptions struct {
+	// LineNumbers prefixes each statement with its original source
+	// line ("12: write(positives);"), reproducing the listings in the
+	// paper's figures. Statements with line 0 (synthesized nodes) get
+	// no prefix.
+	LineNumbers bool
+	// Indent is the indentation unit; default is four spaces.
+	Indent string
+}
+
+type printer struct {
+	opts  PrintOptions
+	sb    strings.Builder
+	depth int
+}
+
+// Format pretty-prints a whole program.
+func Format(p *Program, opts PrintOptions) string {
+	pr := &printer{opts: opts}
+	if pr.opts.Indent == "" {
+		pr.opts.Indent = "    "
+	}
+	for _, s := range p.Body {
+		pr.stmt(s)
+	}
+	return pr.sb.String()
+}
+
+// FormatStmt pretty-prints a single statement subtree.
+func FormatStmt(s Stmt, opts PrintOptions) string {
+	pr := &printer{opts: opts}
+	if pr.opts.Indent == "" {
+		pr.opts.Indent = "    "
+	}
+	pr.stmt(s)
+	return pr.sb.String()
+}
+
+func (pr *printer) line(pos Pos, format string, args ...any) {
+	if pr.opts.LineNumbers {
+		if pos.Line > 0 {
+			fmt.Fprintf(&pr.sb, "%3d: ", pos.Line)
+		} else {
+			pr.sb.WriteString("     ")
+		}
+	}
+	pr.sb.WriteString(strings.Repeat(pr.opts.Indent, pr.depth))
+	fmt.Fprintf(&pr.sb, format, args...)
+	pr.sb.WriteByte('\n')
+}
+
+func (pr *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *AssignStmt:
+		pr.line(s.P, "%s = %s;", s.Name, ExprString(s.Value))
+	case *ReadStmt:
+		pr.line(s.P, "read(%s);", s.Name)
+	case *WriteStmt:
+		pr.line(s.P, "write(%s);", ExprString(s.Value))
+	case *GotoStmt:
+		pr.line(s.P, "goto %s;", s.Label)
+	case *BreakStmt:
+		pr.line(s.P, "break;")
+	case *ContinueStmt:
+		pr.line(s.P, "continue;")
+	case *ReturnStmt:
+		if s.Value != nil {
+			pr.line(s.P, "return %s;", ExprString(s.Value))
+		} else {
+			pr.line(s.P, "return;")
+		}
+	case *EmptyStmt:
+		pr.line(s.P, ";")
+	case *LabeledStmt:
+		// The label shares its statement's line in the paper's style
+		// ("8: L8: positives = positives + 1;"), but nested labels and
+		// labels on compound statements are clearer on their own line
+		// only when the inner statement is compound.
+		switch inner := Unlabel(s).(type) {
+		case *AssignStmt, *ReadStmt, *WriteStmt, *GotoStmt, *BreakStmt,
+			*ContinueStmt, *ReturnStmt, *EmptyStmt:
+			pr.line(s.P, "%s%s", labelPrefix(s), simpleStmtString(inner))
+		case *IfStmt:
+			// Inline a labeled conditional jump:
+			// "3: L3: if (eof()) goto L14;".
+			if inner.Else == nil && IsJump(Unlabel(inner.Then)) {
+				if _, wrapped := inner.Then.(*LabeledStmt); !wrapped {
+					pr.line(s.P, "%sif (%s) %s", labelPrefix(s),
+						ExprString(inner.Cond), simpleStmtString(Unlabel(inner.Then)))
+					return
+				}
+			}
+			pr.line(s.P, "%s", strings.TrimSuffix(labelPrefix(s), " "))
+			pr.stmt(inner)
+		default:
+			pr.line(s.P, "%s", strings.TrimSuffix(labelPrefix(s), " "))
+			pr.stmt(Unlabel(s))
+		}
+	case *BlockStmt:
+		pr.line(s.P, "{")
+		pr.depth++
+		for _, st := range s.List {
+			pr.stmt(st)
+		}
+		pr.depth--
+		pr.line(Pos{}, "}")
+	case *IfStmt:
+		// The conditional-jump idiom prints on one line, matching the
+		// paper's "3: L3: if (eof()) goto L14;" style.
+		if s.Else == nil {
+			if j, ok := s.Then.(Stmt); ok && IsJump(Unlabel(j)) {
+				if _, isLabeled := j.(*LabeledStmt); !isLabeled {
+					pr.line(s.P, "if (%s) %s", ExprString(s.Cond), simpleStmtString(Unlabel(j)))
+					return
+				}
+			}
+		}
+		pr.line(s.P, "if (%s)%s", ExprString(s.Cond), braceOpen(s.Then))
+		pr.body(s.Then)
+		if s.Else != nil {
+			pr.line(Pos{}, "else%s", braceOpen(s.Else))
+			pr.body(s.Else)
+		}
+	case *WhileStmt:
+		pr.line(s.P, "while (%s)%s", ExprString(s.Cond), braceOpen(s.Body))
+		pr.body(s.Body)
+	case *SwitchStmt:
+		pr.line(s.P, "switch (%s) {", ExprString(s.Tag))
+		for _, c := range s.Cases {
+			if c.IsDefault {
+				pr.line(c.P, "default:")
+			} else {
+				vals := make([]string, len(c.Values))
+				for i, v := range c.Values {
+					vals[i] = fmt.Sprintf("%d", v)
+				}
+				pr.line(c.P, "case %s:", strings.Join(vals, ", "))
+			}
+			pr.depth++
+			for _, st := range c.Body {
+				pr.stmt(st)
+			}
+			pr.depth--
+		}
+		pr.line(Pos{}, "}")
+	default:
+		pr.line(s.Pos(), "/* unknown statement %T */", s)
+	}
+}
+
+// body prints the body of an if/while arm: blocks inline their braces,
+// other statements are indented one level.
+func (pr *printer) body(s Stmt) {
+	if blk, ok := s.(*BlockStmt); ok {
+		pr.depth++
+		for _, st := range blk.List {
+			pr.stmt(st)
+		}
+		pr.depth--
+		pr.line(Pos{}, "}")
+		return
+	}
+	pr.depth++
+	pr.stmt(s)
+	pr.depth--
+}
+
+func braceOpen(s Stmt) string {
+	if _, ok := s.(*BlockStmt); ok {
+		return " {"
+	}
+	return ""
+}
+
+// labelPrefix renders the (possibly nested) labels of s: "L8: ".
+func labelPrefix(s Stmt) string {
+	var sb strings.Builder
+	for {
+		l, ok := s.(*LabeledStmt)
+		if !ok {
+			return sb.String()
+		}
+		sb.WriteString(l.Label)
+		sb.WriteString(": ")
+		s = l.Stmt
+	}
+}
+
+// simpleStmtString renders a simple (non-compound) statement without a
+// trailing newline, for inlining after a label.
+func simpleStmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s;", s.Name, ExprString(s.Value))
+	case *ReadStmt:
+		return fmt.Sprintf("read(%s);", s.Name)
+	case *WriteStmt:
+		return fmt.Sprintf("write(%s);", ExprString(s.Value))
+	case *GotoStmt:
+		return fmt.Sprintf("goto %s;", s.Label)
+	case *BreakStmt:
+		return "break;"
+	case *ContinueStmt:
+		return "continue;"
+	case *ReturnStmt:
+		if s.Value != nil {
+			return fmt.Sprintf("return %s;", ExprString(s.Value))
+		}
+		return "return;"
+	case *EmptyStmt:
+		return ";"
+	}
+	return fmt.Sprintf("/* %T */", s)
+}
+
+// StmtString renders a one-line summary of a statement: simple
+// statements in full, compound statements as their header ("if (x <=
+// 0)", "switch (c())"). Used by graph visualizations and diagnostics.
+func StmtString(s Stmt) string {
+	s2 := Unlabel(s)
+	switch s2 := s2.(type) {
+	case *IfStmt:
+		return fmt.Sprintf("if (%s)", ExprString(s2.Cond))
+	case *WhileStmt:
+		return fmt.Sprintf("while (%s)", ExprString(s2.Cond))
+	case *SwitchStmt:
+		return fmt.Sprintf("switch (%s)", ExprString(s2.Tag))
+	case *BlockStmt:
+		return "{...}"
+	default:
+		return labelPrefix(s) + simpleStmtString(s2)
+	}
+}
+
+// precedence levels for minimal parenthesization when printing.
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case "||":
+			return 1
+		case "&&":
+			return 2
+		case "==", "!=", "<", "<=", ">", ">=":
+			return 3
+		case "+", "-":
+			return 4
+		default: // * / %
+			return 5
+		}
+	case *UnaryExpr:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ident:
+		return e.Name
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		x := ExprString(e.X)
+		if exprPrec(e.X) < exprPrec(e) {
+			x = "(" + x + ")"
+		}
+		return e.Op + x
+	case *BinaryExpr:
+		x, y := ExprString(e.X), ExprString(e.Y)
+		if exprPrec(e.X) < exprPrec(e) {
+			x = "(" + x + ")"
+		}
+		// Right operand needs parens at equal precedence too, since
+		// all operators here are left-associative.
+		if exprPrec(e.Y) <= exprPrec(e) {
+			y = "(" + y + ")"
+		}
+		return fmt.Sprintf("%s %s %s", x, e.Op, y)
+	}
+	return fmt.Sprintf("/* %T */", e)
+}

@@ -1,0 +1,190 @@
+// Package lst builds the lexical successor tree of a program — the
+// separate, purely syntactic structure at the heart of the paper's
+// algorithm (Section 3).
+//
+// The immediate lexical successor of a statement S is the statement
+// control would reach, were S deleted from the program, whenever it
+// arrives at S's former location. It is computed entirely from the
+// syntax:
+//
+//   - a statement followed by another in the same sequence → that next
+//     statement;
+//   - the last statement of a while body → the while statement itself
+//     (control re-tests the condition);
+//   - the last statement of an if/else branch → the successor of the
+//     whole if;
+//   - the last statement of a switch case → the first statement of the
+//     next case (C fall-through), or the switch's successor for the
+//     last case;
+//   - the last top-level statement → the program exit.
+//
+// The tree has Exit as its root; the parent of every node is its
+// immediate lexical successor. A statement S' is a lexical successor
+// of S iff S' is a proper ancestor of S in the tree. For programs with
+// no jump statements the lexical successor tree coincides with the
+// postdominator tree — the divergence between the two is exactly what
+// the paper's slicing condition tests.
+package lst
+
+import (
+	"fmt"
+	"sort"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+)
+
+// Tree is a lexical successor tree over the nodes of a flowgraph.
+type Tree struct {
+	CFG *cfg.Graph
+	// Parent[n] is the immediate lexical successor of node n. The
+	// root (Exit) is its own parent; Entry, which is not a statement,
+	// is parented directly to Exit and never consulted.
+	Parent   []int
+	children [][]int
+}
+
+// Build constructs the lexical successor tree for a built flowgraph.
+func Build(g *cfg.Graph) *Tree {
+	t := &Tree{CFG: g, Parent: make([]int, len(g.Nodes))}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	t.Parent[g.Exit.ID] = g.Exit.ID
+	t.Parent[g.Entry.ID] = g.Exit.ID
+
+	b := &builder{g: g, t: t}
+	b.seq(g.Prog.Body, g.Exit)
+
+	// Safety net: every node must have been assigned a parent.
+	for i, p := range t.Parent {
+		if p < 0 {
+			panic(fmt.Sprintf("lst: node %d (%s) has no lexical successor", i, g.Nodes[i]))
+		}
+	}
+
+	t.children = make([][]int, len(g.Nodes))
+	for v, p := range t.Parent {
+		if v != p {
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	for _, c := range t.children {
+		sort.Ints(c)
+	}
+	return t
+}
+
+type builder struct {
+	g *cfg.Graph
+	t *Tree
+}
+
+// seq assigns lexical successors within a statement sequence whose
+// overall successor is follow.
+func (b *builder) seq(list []lang.Stmt, follow *cfg.Node) {
+	for i, s := range list {
+		f := follow
+		if i+1 < len(list) {
+			f = b.g.EntryOf(list[i+1])
+		}
+		b.stmt(s, f)
+	}
+}
+
+// stmt assigns the lexical successor of s (follow) and recurses into
+// compound bodies.
+func (b *builder) stmt(s lang.Stmt, follow *cfg.Node) {
+	g, t := b.g, b.t
+	switch s := s.(type) {
+	case nil:
+	case *lang.LabeledStmt:
+		b.stmt(s.Stmt, follow)
+	case *lang.BlockStmt:
+		if len(s.List) == 0 {
+			t.Parent[g.NodeFor(s).ID] = follow.ID
+			return
+		}
+		b.seq(s.List, follow)
+	case *lang.IfStmt:
+		t.Parent[g.NodeFor(s).ID] = follow.ID
+		b.stmt(s.Then, follow)
+		if s.Else != nil {
+			b.stmt(s.Else, follow)
+		}
+	case *lang.WhileStmt:
+		n := g.NodeFor(s)
+		t.Parent[n.ID] = follow.ID
+		// Deleting the last statement of the body sends control back
+		// to the loop test.
+		b.stmt(s.Body, n)
+	case *lang.SwitchStmt:
+		n := g.NodeFor(s)
+		t.Parent[n.ID] = follow.ID
+		for i, c := range s.Cases {
+			// The fall-through successor of case i's last statement is
+			// the first statement of the next non-empty case body.
+			f := follow
+			for j := i + 1; j < len(s.Cases); j++ {
+				if len(s.Cases[j].Body) > 0 {
+					f = g.EntryOf(s.Cases[j].Body[0])
+					break
+				}
+			}
+			b.seq(c.Body, f)
+		}
+	default:
+		// Simple statements and jumps.
+		t.Parent[g.NodeFor(s).ID] = follow.ID
+	}
+}
+
+// Children returns the tree children of v in ascending ID order.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// Walk calls fn for each proper lexical successor of v, nearest first
+// (Parent[v], then its parent, …), ending at the root. It stops early
+// if fn returns false.
+func (t *Tree) Walk(v int, fn func(successor int) bool) {
+	root := t.CFG.Exit.ID
+	for v != root {
+		v = t.Parent[v]
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// IsSuccessor reports whether b is a (proper) lexical successor of a:
+// b is a proper ancestor of a in the tree.
+func (t *Tree) IsSuccessor(b, a int) bool {
+	if a == b {
+		return false
+	}
+	found := false
+	t.Walk(a, func(s int) bool {
+		if s == b {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Preorder returns the nodes of the tree in preorder (each node before
+// its children, children in ascending ID order), starting at Exit.
+// This is the alternative traversal order the paper notes may drive
+// the Figure 7 search instead of the postdominator tree's preorder.
+func (t *Tree) Preorder() []int {
+	out := make([]int, 0, len(t.Parent))
+	var visit func(v int)
+	visit = func(v int) {
+		out = append(out, v)
+		for _, c := range t.children[v] {
+			visit(c)
+		}
+	}
+	visit(t.CFG.Exit.ID)
+	return out
+}

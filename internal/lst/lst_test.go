@@ -1,0 +1,236 @@
+package lst
+
+import (
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dom"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+)
+
+func build(t *testing.T, src string) (*cfg.Graph, *Tree) {
+	t.Helper()
+	g, err := cfg.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Build(g)
+}
+
+// parentLine returns the line of a node's immediate lexical successor
+// (0 for Exit).
+func parentLine(g *cfg.Graph, t *Tree, id int) int {
+	return g.Nodes[t.Parent[id]].Line
+}
+
+func nodeOfKind(t *testing.T, g *cfg.Graph, line int, k cfg.Kind) *cfg.Node {
+	t.Helper()
+	for _, n := range g.NodesAtLine(line) {
+		if n.Kind == k {
+			return n
+		}
+	}
+	t.Fatalf("no %v node at line %d", k, line)
+	return nil
+}
+
+// TestFigure4LexicalSuccessorTree checks the LST of the goto program
+// (Figure 3-a) against the paper's Figure 4-d. The program is flat, so
+// each statement's immediate lexical successor is simply the next
+// statement; the conditional jumps at lines 3 and 5 have both their
+// predicate and goto nodes parented at the following line.
+func TestFigure4LexicalSuccessorTree(t *testing.T) {
+	g, tree := build(t, paper.Fig3().Source)
+	want := map[int]int{
+		1: 2, 2: 3, 4: 5, 6: 7, 7: 8, 8: 9,
+		10: 11, 11: 12, 12: 13, 13: 14, 14: 15, 15: 0,
+	}
+	for line, wantNext := range want {
+		for _, n := range g.NodesAtLine(line) {
+			if got := parentLine(g, tree, n.ID); got != wantNext {
+				t.Errorf("ILS(line %d, %v) = line %d, want %d", line, n.Kind, got, wantNext)
+			}
+		}
+	}
+	// The conditional jump at line 3: predicate's ILS is 4; the goto
+	// inside it also falls through to 4 when deleted.
+	p3 := nodeOfKind(t, g, 3, cfg.KindPredicate)
+	g3 := nodeOfKind(t, g, 3, cfg.KindGoto)
+	if got := parentLine(g, tree, p3.ID); got != 4 {
+		t.Errorf("ILS(predicate 3) = %d, want 4", got)
+	}
+	if got := parentLine(g, tree, g3.ID); got != 4 {
+		t.Errorf("ILS(goto 3) = %d, want 4", got)
+	}
+}
+
+// TestFigure6LexicalSuccessorTree checks the continue version (Figure
+// 5-a) against Figure 6-d. The distinguishing entries: the last
+// statement of the loop body (line 12) has the while (line 3) as its
+// immediate lexical successor, and the branch-final statements fall
+// through to the statement after their if.
+func TestFigure6LexicalSuccessorTree(t *testing.T) {
+	g, tree := build(t, paper.Fig5().Source)
+	want := map[int]int{
+		1: 2, 2: 3, 3: 13, 4: 5, 5: 8, 6: 7, 7: 8,
+		8: 9, 9: 12, 10: 11, 11: 12, 12: 3, 13: 14, 14: 0,
+	}
+	for line, wantNext := range want {
+		n := g.NodesAtLine(line)[0]
+		if got := parentLine(g, tree, n.ID); got != wantNext {
+			t.Errorf("ILS(line %d) = line %d, want %d", line, got, wantNext)
+		}
+	}
+}
+
+// TestFigure11LexicalSuccessorTree checks Figure 10-a against Figure
+// 11-d, including ILS(4) = 5: deleting the last statement of the if
+// body hands control to the statement after the if.
+func TestFigure11LexicalSuccessorTree(t *testing.T) {
+	g, tree := build(t, paper.Fig10().Source)
+	want := map[int]int{
+		1: 5, 2: 3, 3: 4, 4: 5, 5: 6, 6: 7, 7: 8, 8: 9, 9: 10, 10: 0,
+	}
+	for line, wantNext := range want {
+		n := g.NodesAtLine(line)[0]
+		if got := parentLine(g, tree, n.ID); got != wantNext {
+			t.Errorf("ILS(line %d) = line %d, want %d", line, got, wantNext)
+		}
+	}
+}
+
+// TestFigure15LexicalSuccessorTree checks the switch program (Figure
+// 14-a) against Figure 15-d: a case's last statement falls through to
+// the first statement of the next case; the last case falls through
+// past the switch.
+func TestFigure15LexicalSuccessorTree(t *testing.T) {
+	g, tree := build(t, paper.Fig14().Source)
+	want := map[int]int{
+		1: 8, 2: 3, 3: 4, 4: 5, 5: 6, 6: 7, 7: 8, 8: 9, 9: 10, 10: 0,
+	}
+	for line, wantNext := range want {
+		n := g.NodesAtLine(line)[0]
+		if got := parentLine(g, tree, n.ID); got != wantNext {
+			t.Errorf("ILS(line %d) = line %d, want %d", line, got, wantNext)
+		}
+	}
+}
+
+// TestFigure10PostdomLexPair verifies the paper's multiple-traversal
+// condition on Figure 10-a: node 4 postdominates node 7 while node 7
+// lexically succeeds node 4.
+func TestFigure10PostdomLexPair(t *testing.T) {
+	g, tree := build(t, paper.Fig10().Source)
+	pdt := dom.PostDominators(g, g.Exit.ID)
+	n4 := nodeOfKind(t, g, 4, cfg.KindGoto)
+	n7 := nodeOfKind(t, g, 7, cfg.KindGoto)
+	if !pdt.Dominates(n4.ID, n7.ID) {
+		t.Error("node 4 should postdominate node 7")
+	}
+	if !tree.IsSuccessor(n7.ID, n4.ID) {
+		t.Error("node 7 should be a lexical successor of node 4")
+	}
+}
+
+// TestJumpFreeLSTEqualsPDT verifies the paper's Section 3 observation:
+// for a program without jump statements the lexical successor tree and
+// the postdominator tree are identical.
+func TestJumpFreeLSTEqualsPDT(t *testing.T) {
+	srcs := []string{
+		paper.Fig1().Source,
+		"read(x);\nwrite(x);",
+		"if (a) {\nb = 1;\n} else {\nc = 2;\n}\nwrite(b + c);",
+		"while (x < 10) {\nif (x % 2 == 0)\ny = y + x;\nx = x + 1;\n}\nwrite(y);",
+		"if (a)\nif (b)\nc = 1;\nwrite(c);",
+	}
+	for _, src := range srcs {
+		g, tree := build(t, src)
+		pdt := dom.PostDominators(g, g.Exit.ID)
+		for _, n := range g.Nodes {
+			if n.Kind == cfg.KindEntry || n.Kind == cfg.KindExit {
+				continue
+			}
+			if tree.Parent[n.ID] != pdt.Idom[n.ID] {
+				t.Errorf("src %q: node %s: ILS = %v, ipdom = %v",
+					src, n, g.Nodes[tree.Parent[n.ID]], g.Nodes[pdt.Idom[n.ID]])
+			}
+		}
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	g, tree := build(t, "a = 1;\nb = 2;\nc = 3;")
+	n := g.NodesAtLine(1)[0]
+	var lines []int
+	tree.Walk(n.ID, func(s int) bool {
+		lines = append(lines, g.Nodes[s].Line)
+		return true
+	})
+	if len(lines) != 3 || lines[0] != 2 || lines[1] != 3 || lines[2] != 0 {
+		t.Errorf("Walk = %v, want [2 3 0]", lines)
+	}
+}
+
+func TestIsSuccessorIrreflexive(t *testing.T) {
+	g, tree := build(t, "a = 1;\nb = 2;")
+	n := g.NodesAtLine(1)[0]
+	if tree.IsSuccessor(n.ID, n.ID) {
+		t.Error("IsSuccessor must be irreflexive")
+	}
+	m := g.NodesAtLine(2)[0]
+	if !tree.IsSuccessor(m.ID, n.ID) {
+		t.Error("2 should lexically succeed 1")
+	}
+	if tree.IsSuccessor(n.ID, m.ID) {
+		t.Error("1 should not lexically succeed 2")
+	}
+}
+
+func TestPreorderVisitsAllOnce(t *testing.T) {
+	g, tree := build(t, paper.Fig5().Source)
+	order := tree.Preorder()
+	if len(order) != len(g.Nodes) {
+		t.Fatalf("preorder visited %d nodes, want %d", len(order), len(g.Nodes))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("node %d visited twice", v)
+		}
+		seen[v] = true
+	}
+	if order[0] != g.Exit.ID {
+		t.Errorf("preorder must start at Exit")
+	}
+}
+
+// TestEmptyCaseFallthroughLST: the fall-through successor of a case's
+// last statement skips empty case bodies.
+func TestEmptyCaseFallthroughLST(t *testing.T) {
+	g, tree := build(t, `switch (c()) {
+case 1: a = 1;
+case 2:
+case 3: b = 2;
+}
+write(a);`)
+	a := g.NodesAtLine(2)[0]
+	// ILS(a=1) should be b=2 on line 4 (case 2 is empty).
+	if got := parentLine(g, tree, a.ID); got != 4 {
+		t.Errorf("ILS(case1 body) = line %d, want 4", got)
+	}
+}
+
+// TestWhileBodyLastStatementILS pins the crucial rule: deleting the
+// last body statement sends control back to the loop test.
+func TestWhileBodyLastStatementILS(t *testing.T) {
+	g, tree := build(t, "while (x) {\na = 1;\nb = 2;\n}\nwrite(b);")
+	b := g.NodesAtLine(3)[0]
+	if got := parentLine(g, tree, b.ID); got != 1 {
+		t.Errorf("ILS(last body stmt) = line %d, want 1 (the while)", got)
+	}
+	a := g.NodesAtLine(2)[0]
+	if got := parentLine(g, tree, a.ID); got != 3 {
+		t.Errorf("ILS(first body stmt) = line %d, want 3", got)
+	}
+}

@@ -1,0 +1,289 @@
+// Package paper holds the example programs of Agrawal's "On Slicing
+// Programs with Jump Statements" (PLDI 1994) together with the slices
+// the paper reports for them. Each program's source layout is arranged
+// so that every statement begins on exactly the line the paper numbers
+// it with, letting tests assert the paper's figures verbatim.
+//
+// The corpus is shared by the unit tests (which check each algorithm
+// against each figure), the benchmarks in the repository root (one per
+// figure), and cmd/paperfigs (which regenerates the figures as text
+// and DOT graphs).
+package paper
+
+import "jumpslice/internal/lang"
+
+// Criterion is a slicing criterion: the value of Var at source line
+// Line, e.g. "positives on line 12".
+type Criterion struct {
+	Var  string
+	Line int
+}
+
+// Figure is one of the paper's example programs with its expected
+// results.
+type Figure struct {
+	// Name is the paper's figure designation for the program, e.g.
+	// "Figure 3-a".
+	Name string
+	// Description summarizes what the figure demonstrates.
+	Description string
+	// Source is the program text, laid out so statement lines equal
+	// the paper's statement numbers.
+	Source string
+	// Criterion is the slicing criterion of the figure.
+	Criterion Criterion
+
+	// ConventionalLines is the slice computed by the conventional
+	// (jump-unaware) algorithm, as statement line numbers.
+	ConventionalLines []int
+	// AgrawalLines is the correct slice computed by the paper's
+	// Figure 7 algorithm.
+	AgrawalLines []int
+	// StructuredLines is the slice of the Figure 12 algorithm; nil
+	// when the program is unstructured (the algorithm does not apply).
+	StructuredLines []int
+	// ConservativeLines is the slice of the Figure 13 algorithm; nil
+	// when the program is unstructured.
+	ConservativeLines []int
+
+	// Structured reports whether every jump in the program is a
+	// structured jump (its target is one of its lexical successors).
+	Structured bool
+	// WantTraversals is the total number of postdominator tree
+	// preorder traversals the Figure 7 algorithm performs, counting
+	// the final traversal that discovers nothing new. The paper's
+	// Figure 10 is the example needing more than one productive
+	// traversal.
+	WantTraversals int
+	// RetargetedLabels maps goto labels whose original target is not
+	// in the Agrawal slice to the line the label is re-attached to
+	// ("associate the label L with its nearest postdominator in
+	// Slice").
+	RetargetedLabels map[string]int
+}
+
+// Parse returns the parsed program of the figure.
+func (f *Figure) Parse() *lang.Program { return lang.MustParse(f.Source) }
+
+// All returns every corpus figure in paper order.
+func All() []*Figure {
+	return []*Figure{Fig1(), Fig3(), Fig5(), Fig8(), Fig10(), Fig14(), Fig16()}
+}
+
+// Fig1 is the paper's Figure 1-a: the jump-free example program. The
+// conventional algorithm alone produces the correct slice (Figure
+// 1-b); with no jump statements, every algorithm agrees.
+func Fig1() *Figure {
+	return &Figure{
+		Name:        "Figure 1-a",
+		Description: "jump-free program; conventional slicing is already correct",
+		Source: `sum = 0;
+positives = 0;
+while (!eof()) {
+read(x);
+if (x <= 0)
+sum = sum + f1(x); else {
+positives = positives + 1;
+if (x % 2 == 0)
+sum = sum + f2(x);
+else sum = sum + f3(x); } }
+write(sum);
+write(positives);
+`,
+		Criterion:         Criterion{Var: "positives", Line: 12},
+		ConventionalLines: []int{2, 3, 4, 5, 7, 12},
+		AgrawalLines:      []int{2, 3, 4, 5, 7, 12},
+		StructuredLines:   []int{2, 3, 4, 5, 7, 12},
+		ConservativeLines: []int{2, 3, 4, 5, 7, 12},
+		Structured:        true,
+		WantTraversals:    1,
+		RetargetedLabels:  map[string]int{},
+	}
+}
+
+// Fig3 is the paper's Figure 3-a: a goto version of Figure 1-a with a
+// shared join point (L13). The conventional slice (Figure 3-b) loses
+// the unconditional jumps on lines 7 and 13; the Figure 7 algorithm
+// restores them but correctly omits line 11 (Figure 3-c).
+func Fig3() *Figure {
+	return &Figure{
+		Name:        "Figure 3-a",
+		Description: "goto version; slice must include jumps 7 and 13 but not 11",
+		Source: `sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L13;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L13;
+L12: sum = sum + f3(x);
+L13: goto L3;
+L14: write(sum);
+write(positives);
+`,
+		Criterion:         Criterion{Var: "positives", Line: 15},
+		ConventionalLines: []int{2, 3, 4, 5, 8, 15},
+		AgrawalLines:      []int{2, 3, 4, 5, 7, 8, 13, 15},
+		Structured:        false,
+		WantTraversals:    2,
+		RetargetedLabels:  map[string]int{"L14": 15},
+	}
+}
+
+// Fig5 is the paper's Figure 5-a: a continue version of the example.
+// The slice must include the continue on line 7 (else line 8 executes
+// every iteration) but not the one on line 11 (Figure 5-c).
+func Fig5() *Figure {
+	return &Figure{
+		Name:        "Figure 5-a",
+		Description: "continue version; slice must include continue 7 but not 11",
+		Source: `sum = 0;
+positives = 0;
+while (!eof()) {
+read(x);
+if (x <= 0) {
+sum = sum + f1(x);
+continue; }
+positives = positives + 1;
+if (x % 2 == 0) {
+sum = sum + f2(x);
+continue; }
+sum = sum + f3(x); }
+write(sum);
+write(positives);
+`,
+		Criterion:         Criterion{Var: "positives", Line: 14},
+		ConventionalLines: []int{2, 3, 4, 5, 8, 14},
+		AgrawalLines:      []int{2, 3, 4, 5, 7, 8, 14},
+		StructuredLines:   []int{2, 3, 4, 5, 7, 8, 14},
+		ConservativeLines: []int{2, 3, 4, 5, 7, 8, 14},
+		Structured:        true,
+		WantTraversals:    2,
+		RetargetedLabels:  map[string]int{},
+	}
+}
+
+// Fig8 is the paper's Figure 8-a: like Figure 3-a but with direct
+// jumps to L3 instead of the shared L13. Including jumps 11 and 13
+// forces predicate 9 into the slice via the dependence closure
+// (Figure 8-c).
+func Fig8() *Figure {
+	return &Figure{
+		Name:        "Figure 8-a",
+		Description: "direct-goto version; jump closure pulls predicate 9 into the slice",
+		Source: `sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L3;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L3;
+L12: sum = sum + f3(x);
+goto L3;
+L14: write(sum);
+write(positives);
+`,
+		Criterion:         Criterion{Var: "positives", Line: 15},
+		ConventionalLines: []int{2, 3, 4, 5, 8, 15},
+		AgrawalLines:      []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 15},
+		Structured:        false,
+		WantTraversals:    2,
+		RetargetedLabels:  map[string]int{"L12": 13, "L14": 15},
+	}
+}
+
+// Fig10 is the paper's Figure 10-a (adapted from Ball–Horwitz): an
+// unstructured program containing a pair of nodes (4, 7) where 4
+// postdominates 7 while 7 lexically succeeds 4, so the Figure 7
+// algorithm needs a second preorder traversal to add node 4.
+func Fig10() *Figure {
+	return &Figure{
+		Name:        "Figure 10-a",
+		Description: "unstructured program requiring two productive traversals",
+		Source: `if (c1()) {
+goto L6;
+L3: y = f1();
+goto L8; }
+z = g1();
+L6: x = h1();
+goto L3;
+L8: write(x);
+write(y);
+write(z);
+`,
+		Criterion:         Criterion{Var: "y", Line: 9},
+		ConventionalLines: []int{3, 9},
+		AgrawalLines:      []int{1, 2, 3, 4, 7, 9},
+		Structured:        false,
+		WantTraversals:    3,
+		RetargetedLabels:  map[string]int{"L6": 7, "L8": 9},
+	}
+}
+
+// Fig14 is the paper's Figure 14-a: a switch with breaks. The Figure
+// 12 algorithm keeps only break 3 (Figure 14-b); the conservative
+// Figure 13 algorithm also keeps breaks 5 and 7 (Figure 14-c).
+func Fig14() *Figure {
+	return &Figure{
+		Name:        "Figure 14-a",
+		Description: "switch/break program separating Figure 12 from Figure 13 precision",
+		Source: `switch (c()) {
+case 1: x = f1();
+break;
+case 2: y = f2();
+break;
+case 3: z = f3();
+break; }
+write(x);
+write(y);
+write(z);
+`,
+		Criterion:         Criterion{Var: "y", Line: 9},
+		ConventionalLines: []int{1, 4, 9},
+		AgrawalLines:      []int{1, 3, 4, 9},
+		StructuredLines:   []int{1, 3, 4, 9},
+		ConservativeLines: []int{1, 3, 4, 5, 7, 9},
+		Structured:        true,
+		WantTraversals:    2,
+		RetargetedLabels:  map[string]int{},
+	}
+}
+
+// Fig16 is the paper's Figure 16-a: the program on which Gallagher's
+// algorithm fails. The correct slice keeps the goto on line 4 even
+// though no statement of the block labeled L6 is in the slice, and
+// re-attaches L6 to line 10 (Figure 16-c).
+func Fig16() *Figure {
+	return &Figure{
+		Name:        "Figure 16-a",
+		Description: "forward-goto program on which Gallagher's rule fails",
+		Source: `read(x);
+if (x < 0) {
+y = f1(x);
+goto L6; }
+y = f2(x);
+L6: if (y < 0) {
+z = g1(y);
+goto L10; }
+z = g2(y);
+L10: write(y);
+write(z);
+`,
+		Criterion:         Criterion{Var: "y", Line: 10},
+		ConventionalLines: []int{1, 2, 3, 5, 10},
+		AgrawalLines:      []int{1, 2, 3, 4, 5, 10},
+		StructuredLines:   []int{1, 2, 3, 4, 5, 10},
+		ConservativeLines: []int{1, 2, 3, 4, 5, 10},
+		Structured:        true,
+		WantTraversals:    2,
+		RetargetedLabels:  map[string]int{"L6": 10},
+	}
+}

@@ -1,0 +1,131 @@
+package paper
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+)
+
+// expectedStatementLines lists, per figure, the lines that must carry
+// statements — the paper's statement numbering.
+var expectedStatementLines = map[string][]int{
+	"Figure 1-a":  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	"Figure 3-a":  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+	"Figure 5-a":  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+	"Figure 8-a":  {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+	"Figure 10-a": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	"Figure 14-a": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	"Figure 16-a": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+}
+
+func TestCorpusLineNumbersMatchPaper(t *testing.T) {
+	for _, f := range All() {
+		want, ok := expectedStatementLines[f.Name]
+		if !ok {
+			t.Errorf("%s: no expected line list", f.Name)
+			continue
+		}
+		prog := f.Parse()
+		seen := map[int]bool{}
+		for _, s := range lang.Statements(prog) {
+			seen[s.Pos().Line] = true
+		}
+		var got []int
+		for l := range seen {
+			got = append(got, l)
+		}
+		sort.Ints(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: statement lines = %v, want %v", f.Name, got, want)
+		}
+	}
+}
+
+func TestCorpusParsesAndBuilds(t *testing.T) {
+	for _, f := range All() {
+		prog, err := lang.Parse(f.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", f.Name, err)
+			continue
+		}
+		if _, err := cfg.Build(prog); err != nil {
+			t.Errorf("%s: cfg build: %v", f.Name, err)
+		}
+	}
+}
+
+func TestCorpusCriterionLineHasStatement(t *testing.T) {
+	for _, f := range All() {
+		prog := f.Parse()
+		s := lang.StmtAtLine(prog, f.Criterion.Line)
+		if s == nil {
+			t.Errorf("%s: no statement at criterion line %d", f.Name, f.Criterion.Line)
+			continue
+		}
+		// Every corpus criterion points at a write of the criterion
+		// variable.
+		uses := lang.Uses(s)
+		found := false
+		for _, u := range uses {
+			if u == f.Criterion.Var {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: statement at line %d does not use %q",
+				f.Name, f.Criterion.Line, f.Criterion.Var)
+		}
+	}
+}
+
+func TestCorpusExpectationsAreSubsets(t *testing.T) {
+	// Conventional ⊆ Agrawal, and slices only contain statement lines.
+	for _, f := range All() {
+		lines := map[int]bool{}
+		for _, s := range lang.Statements(f.Parse()) {
+			lines[s.Pos().Line] = true
+		}
+		inAgrawal := map[int]bool{}
+		for _, l := range f.AgrawalLines {
+			inAgrawal[l] = true
+			if !lines[l] {
+				t.Errorf("%s: Agrawal slice line %d is not a statement line", f.Name, l)
+			}
+		}
+		for _, l := range f.ConventionalLines {
+			if !inAgrawal[l] {
+				t.Errorf("%s: conventional line %d missing from Agrawal slice", f.Name, l)
+			}
+		}
+		if f.Structured {
+			if f.StructuredLines == nil || f.ConservativeLines == nil {
+				t.Errorf("%s: structured figure must define Figure 12/13 expectations", f.Name)
+			}
+			inConservative := map[int]bool{}
+			for _, l := range f.ConservativeLines {
+				inConservative[l] = true
+			}
+			for _, l := range f.StructuredLines {
+				if !inConservative[l] {
+					t.Errorf("%s: Figure 12 line %d missing from conservative slice", f.Name, l)
+				}
+			}
+		}
+	}
+}
+
+func TestCorpusCoversAllFigures(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range All() {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"Figure 1-a", "Figure 3-a", "Figure 5-a",
+		"Figure 8-a", "Figure 10-a", "Figure 14-a", "Figure 16-a"} {
+		if !names[want] {
+			t.Errorf("corpus missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package pdg merges the data dependence graph (from reaching
+// definitions) and the control dependence graph into the program
+// dependence graph of Ottenstein & Ottenstein (reference [24] in the
+// paper), and provides the backward reachability that powers the
+// conventional slicing algorithm.
+package pdg
+
+import (
+	"sort"
+
+	"jumpslice/internal/bits"
+	"jumpslice/internal/cdg"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dataflow"
+)
+
+// Graph is a program dependence graph over the nodes of a flowgraph.
+type Graph struct {
+	CFG *cfg.Graph
+	CDG *cdg.Graph
+
+	dataDeps [][]int // dataDeps[n]: nodes n is data dependent on
+	deps     [][]int // union of data and control deps, sorted
+}
+
+// Build merges control and data dependence. The control dependence
+// graph may come from either the plain flowgraph (Agrawal's setting)
+// or an augmented flowgraph (the Ball–Horwitz baseline); the data
+// dependence always comes from the plain flowgraph, which is why the
+// reaching-definitions result is a separate argument.
+func Build(g *cfg.Graph, cd *cdg.Graph, rd *dataflow.ReachingDefs) *Graph {
+	p := &Graph{CFG: g, CDG: cd}
+	p.dataDeps = rd.DataDeps()
+	p.deps = make([][]int, len(g.Nodes))
+	for n := range p.deps {
+		seen := map[int]bool{}
+		for _, d := range p.dataDeps[n] {
+			seen[d] = true
+		}
+		for _, d := range cd.ParentIDs(n) {
+			seen[d] = true
+		}
+		if len(seen) == 0 {
+			continue
+		}
+		merged := make([]int, 0, len(seen))
+		for d := range seen {
+			merged = append(merged, d)
+		}
+		sort.Ints(merged)
+		p.deps[n] = merged
+	}
+	return p
+}
+
+// DataDeps returns the nodes n is directly data dependent on, sorted.
+// The slice is shared; callers must not modify it.
+func (p *Graph) DataDeps(n int) []int { return p.dataDeps[n] }
+
+// ControlDeps returns the nodes n is directly control dependent on,
+// de-duplicated and sorted.
+func (p *Graph) ControlDeps(n int) []int { return p.CDG.ParentIDs(n) }
+
+// Deps returns the union of data and control dependences of n, sorted.
+// The slice is shared; callers must not modify it.
+func (p *Graph) Deps(n int) []int { return p.deps[n] }
+
+// BackwardClosure returns the set of nodes reachable from the seeds by
+// following dependence edges backwards (the transitive closure of
+// data and control dependence — the conventional slicing engine). The
+// seeds themselves are included.
+func (p *Graph) BackwardClosure(seeds []int) *bits.Set {
+	out := bits.New(len(p.CFG.Nodes))
+	var stack []int
+	for _, s := range seeds {
+		if !out.Has(s) {
+			out.Add(s)
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range p.deps[n] {
+			if !out.Has(d) {
+				out.Add(d)
+				stack = append(stack, d)
+			}
+		}
+	}
+	return out
+}
+
+// GrowClosure extends an existing slice set in place with the backward
+// closure of the given seed, returning true if anything was added.
+// Agrawal's Figure 7 uses this when a jump statement is added to the
+// slice: "Add the transitive closure of the dependence of J to Slice".
+func (p *Graph) GrowClosure(set *bits.Set, seed int) bool {
+	changed := false
+	var stack []int
+	if !set.Has(seed) {
+		set.Add(seed)
+		stack = append(stack, seed)
+		changed = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range p.deps[n] {
+			if !set.Has(d) {
+				set.Add(d)
+				stack = append(stack, d)
+				changed = true
+			}
+		}
+	}
+	return changed
+}

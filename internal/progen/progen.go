@@ -1,0 +1,491 @@
+// Package progen generates random lang programs for property-based
+// testing and for the scaling benchmarks. Two generators are provided:
+//
+//   - Structured: nested if/while/switch programs whose only jumps are
+//     break, continue, return and forward gotos within a block — every
+//     jump's target is one of its lexical successors, so the programs
+//     satisfy the paper's Section 4 definition of structured. Loops
+//     decrement a dedicated fuel counter as their first body
+//     statement, so every generated program terminates.
+//   - Unstructured: flat goto programs in the style of the paper's
+//     Figures 3 and 8, with arbitrary forward and backward branches.
+//     Backward branches are guarded by a shared fuel counter, so these
+//     programs terminate too.
+//
+// Generation is deterministic per seed. Programs are produced as
+// source text and re-parsed, so every statement carries a real source
+// position.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+)
+
+// Config controls generation.
+type Config struct {
+	// Seed selects the pseudo-random stream; equal configs generate
+	// equal programs.
+	Seed int64
+	// Stmts is the approximate number of statements to generate.
+	Stmts int
+	// MaxDepth bounds nesting of compound statements (structured
+	// generator only).
+	MaxDepth int
+	// Vars is the number of distinct data variables (v0..v{n-1});
+	// minimum 2.
+	Vars int
+}
+
+func (c Config) normalized() Config {
+	if c.Stmts <= 0 {
+		c.Stmts = 20
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.Vars < 2 {
+		c.Vars = 4
+	}
+	return c
+}
+
+// Structured generates a terminating structured program. The program
+// ends with one write per variable, giving every variable a natural
+// slicing criterion.
+func Structured(cfg Config) *lang.Program {
+	cfg = cfg.normalized()
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	var body []lang.Stmt
+	// Initialize every variable so slices never depend on unread
+	// memory.
+	for i := 0; i < cfg.Vars; i++ {
+		body = append(body, g.assignConst(i))
+	}
+	budget := cfg.Stmts
+	// seq emits a bounded chunk; keep appending chunks until the
+	// whole statement budget is spent, so Config.Stmts actually
+	// controls program size.
+	for budget > 0 {
+		body = append(body, g.seq(&budget, cfg.MaxDepth, loopCtx{})...)
+	}
+	for i := 0; i < cfg.Vars; i++ {
+		body = append(body, &lang.WriteStmt{Value: g.varRef(i)})
+	}
+	return removeDeadCode(reparse(body))
+}
+
+// loopCtx tracks what jump statements are legal at the generation
+// point.
+type loopCtx struct {
+	inLoop   bool
+	inSwitch bool
+}
+
+type generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	loopID int
+	labels int
+}
+
+func (g *generator) varName(i int) string { return fmt.Sprintf("v%d", i) }
+
+func (g *generator) varRef(i int) lang.Expr { return &lang.Ident{Name: g.varName(i)} }
+
+func (g *generator) randVar() int { return g.rng.Intn(g.cfg.Vars) }
+
+func (g *generator) assignConst(i int) lang.Stmt {
+	return &lang.AssignStmt{Name: g.varName(i), Value: &lang.IntLit{Value: int64(g.rng.Intn(10))}}
+}
+
+// expr generates a small arithmetic expression over the data
+// variables.
+func (g *generator) expr() lang.Expr {
+	switch g.rng.Intn(6) {
+	case 0:
+		return &lang.IntLit{Value: int64(g.rng.Intn(20) - 10)}
+	case 1:
+		return g.varRef(g.randVar())
+	case 2:
+		return &lang.BinaryExpr{
+			Op: []string{"+", "-", "*"}[g.rng.Intn(3)],
+			X:  g.varRef(g.randVar()),
+			Y:  g.varRef(g.randVar()),
+		}
+	case 3:
+		return &lang.BinaryExpr{
+			Op: "+",
+			X:  g.varRef(g.randVar()),
+			Y:  &lang.IntLit{Value: int64(g.rng.Intn(7) + 1)},
+		}
+	case 4:
+		return &lang.CallExpr{
+			Name: fmt.Sprintf("f%d", g.rng.Intn(4)),
+			Args: []lang.Expr{g.varRef(g.randVar())},
+		}
+	default:
+		return &lang.BinaryExpr{
+			Op: "%",
+			X:  g.varRef(g.randVar()),
+			Y:  &lang.IntLit{Value: int64(g.rng.Intn(5) + 2)},
+		}
+	}
+}
+
+// cond generates a boolean-ish expression.
+func (g *generator) cond() lang.Expr {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	return &lang.BinaryExpr{Op: op, X: g.varRef(g.randVar()), Y: g.expr()}
+}
+
+// seq generates a statement sequence consuming the budget.
+func (g *generator) seq(budget *int, depth int, ctx loopCtx) []lang.Stmt {
+	var out []lang.Stmt
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n && *budget > 0; i++ {
+		out = append(out, g.stmt(budget, depth, ctx))
+	}
+	// Occasionally thread a structured forward goto through the
+	// sequence: "goto Lk;" guarded by a condition, landing on a later
+	// statement of this very sequence.
+	if len(out) >= 2 && g.rng.Intn(4) == 0 {
+		g.labels++
+		label := fmt.Sprintf("S%d", g.labels)
+		at := g.rng.Intn(len(out)-1) + 1 // label position, after the goto
+		out[at] = &lang.LabeledStmt{Label: label, Stmt: out[at]}
+		jump := &lang.IfStmt{Cond: g.cond(), Then: &lang.GotoStmt{Label: label}}
+		pos := g.rng.Intn(at) // goto strictly before the label
+		out = append(out[:pos], append([]lang.Stmt{jump}, out[pos:]...)...)
+	}
+	return out
+}
+
+// stmt generates one statement.
+func (g *generator) stmt(budget *int, depth int, ctx loopCtx) lang.Stmt {
+	*budget--
+	// Jump statements, when legal. Jumps are always guarded by a
+	// predicate ("if (cond) { ...; continue; }" — the paper's Figure
+	// 5 shape): an unguarded jump mid-sequence would make the rest of
+	// the sequence unreachable, and the generated corpus is
+	// deliberately free of dead code (the paper's examples all are,
+	// and the Agrawal/Ball–Horwitz equivalence is stated for
+	// dead-code-free programs; see DESIGN.md).
+	if r := g.rng.Intn(20); r < 3 {
+		var jump lang.Stmt
+		switch {
+		case r == 0 && ctx.inLoop:
+			jump = &lang.ContinueStmt{}
+		case r == 1 && (ctx.inLoop || ctx.inSwitch):
+			jump = &lang.BreakStmt{}
+		case r == 2 && g.rng.Intn(4) == 0:
+			jump = &lang.ReturnStmt{Value: g.varRef(g.randVar())}
+		}
+		if jump != nil {
+			body := []lang.Stmt{}
+			for i := g.rng.Intn(3); i > 0; i-- {
+				body = append(body, g.simple())
+			}
+			body = append(body, jump)
+			return &lang.IfStmt{Cond: g.cond(), Then: &lang.BlockStmt{List: body}}
+		}
+	}
+	if depth > 0 && *budget > 2 {
+		switch g.rng.Intn(6) {
+		case 0: // if
+			s := &lang.IfStmt{Cond: g.cond(), Then: g.block(budget, depth-1, ctx)}
+			if g.rng.Intn(2) == 0 {
+				s.Else = g.block(budget, depth-1, ctx)
+			}
+			return s
+		case 1: // fuel-bounded while
+			g.loopID++
+			fuel := fmt.Sprintf("w%d", g.loopID)
+			bound := int64(g.rng.Intn(4) + 2)
+			inner := loopCtx{inLoop: true}
+			body := []lang.Stmt{
+				// The decrement leads the body so any continue below
+				// it cannot loop forever.
+				&lang.AssignStmt{Name: fuel, Value: &lang.BinaryExpr{
+					Op: "-", X: &lang.Ident{Name: fuel}, Y: &lang.IntLit{Value: 1}}},
+			}
+			body = append(body, g.seq(budget, depth-1, inner)...)
+			loop := &lang.WhileStmt{
+				Cond: &lang.BinaryExpr{Op: ">", X: &lang.Ident{Name: fuel}, Y: &lang.IntLit{}},
+				Body: &lang.BlockStmt{List: body},
+			}
+			return &lang.BlockStmt{List: []lang.Stmt{
+				&lang.AssignStmt{Name: fuel, Value: &lang.IntLit{Value: bound}},
+				loop,
+			}}
+		case 2: // switch
+			tag := &lang.BinaryExpr{Op: "%", X: g.varRef(g.randVar()),
+				Y: &lang.IntLit{Value: 3}}
+			sw := &lang.SwitchStmt{Tag: tag}
+			inner := loopCtx{inLoop: ctx.inLoop, inSwitch: true}
+			ncases := g.rng.Intn(3) + 1
+			for ci := 0; ci < ncases; ci++ {
+				clause := &lang.CaseClause{Values: []int64{int64(ci)}}
+				nb := g.rng.Intn(2) + 1
+				for bi := 0; bi < nb && *budget > 0; bi++ {
+					clause.Body = append(clause.Body, g.stmt(budget, depth-1, inner))
+				}
+				if g.rng.Intn(3) != 0 && !endsInJump(clause.Body) {
+					// Usually break, sometimes fall through. Never
+					// append after a trailing jump — that would be
+					// dead code.
+					clause.Body = append(clause.Body, &lang.BreakStmt{})
+				}
+				sw.Cases = append(sw.Cases, clause)
+			}
+			if g.rng.Intn(2) == 0 {
+				sw.Cases = append(sw.Cases, &lang.CaseClause{
+					IsDefault: true,
+					Body:      []lang.Stmt{g.simple()},
+				})
+			}
+			return sw
+		}
+	}
+	return g.simple()
+}
+
+func (g *generator) block(budget *int, depth int, ctx loopCtx) lang.Stmt {
+	return &lang.BlockStmt{List: g.seq(budget, depth, ctx)}
+}
+
+// simple generates an assignment, read, or write.
+func (g *generator) simple() lang.Stmt {
+	switch g.rng.Intn(5) {
+	case 0:
+		return &lang.ReadStmt{Name: g.varName(g.randVar())}
+	case 1:
+		return &lang.WriteStmt{Value: g.expr()}
+	default:
+		return &lang.AssignStmt{Name: g.varName(g.randVar()), Value: g.expr()}
+	}
+}
+
+// endsInJump reports whether a statement list ends in a bare jump.
+func endsInJump(body []lang.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	return lang.IsJump(lang.Unlabel(body[len(body)-1]))
+}
+
+// reparse formats the generated AST and parses it back, assigning real
+// source positions.
+func reparse(body []lang.Stmt) *lang.Program {
+	src := lang.Format(&lang.Program{Body: body}, lang.PrintOptions{})
+	return lang.MustParse(src)
+}
+
+// removeDeadCode deletes statements unreachable from Entry and
+// re-parses the program. The corpus is dead-code free by contract:
+// the paper's examples all are, its equivalence claims implicitly
+// assume it (dead jumps have different connectivity in the plain and
+// augmented flowgraphs), and dead statements cannot affect any
+// criterion anyway. One pass suffices — removing a dead region never
+// disconnects a live one, because any goto into a region proves the
+// region live.
+func removeDeadCode(p *lang.Program) *lang.Program {
+	g, err := cfg.Build(p)
+	if err != nil {
+		panic("progen: " + err.Error())
+	}
+	reach := g.Reachable()
+	clean := true
+	for _, n := range g.Nodes {
+		if !reach[n.ID] {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return p
+	}
+	var filter func(list []lang.Stmt) []lang.Stmt
+	live := func(s lang.Stmt) bool {
+		n := g.EntryOf(s)
+		return n != nil && reach[n.ID]
+	}
+	var filterStmt func(s lang.Stmt) lang.Stmt
+	filterStmt = func(s lang.Stmt) lang.Stmt {
+		if !live(s) {
+			return nil
+		}
+		switch s := s.(type) {
+		case *lang.LabeledStmt:
+			inner := filterStmt(s.Stmt)
+			if inner == nil {
+				return nil
+			}
+			return &lang.LabeledStmt{P: s.P, Label: s.Label, Stmt: inner}
+		case *lang.BlockStmt:
+			return &lang.BlockStmt{P: s.P, List: filter(s.List)}
+		case *lang.IfStmt:
+			out := &lang.IfStmt{P: s.P, Cond: s.Cond, Then: filterStmt(s.Then)}
+			if out.Then == nil {
+				out.Then = &lang.BlockStmt{}
+			}
+			if s.Else != nil {
+				out.Else = filterStmt(s.Else)
+			}
+			return out
+		case *lang.WhileStmt:
+			body := filterStmt(s.Body)
+			if body == nil {
+				body = &lang.BlockStmt{}
+			}
+			return &lang.WhileStmt{P: s.P, Cond: s.Cond, Body: body}
+		case *lang.SwitchStmt:
+			out := &lang.SwitchStmt{P: s.P, Tag: s.Tag}
+			for _, c := range s.Cases {
+				out.Cases = append(out.Cases, &lang.CaseClause{
+					P: c.P, Values: c.Values, IsDefault: c.IsDefault,
+					Body: filter(c.Body),
+				})
+			}
+			return out
+		default:
+			return s
+		}
+	}
+	filter = func(list []lang.Stmt) []lang.Stmt {
+		var out []lang.Stmt
+		for _, s := range list {
+			if r := filterStmt(s); r != nil {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return reparse(filter(p.Body))
+}
+
+// Unstructured generates a terminating flat goto program in the style
+// of the paper's Figures 3 and 8: straight-line statements, labels,
+// and conditional/unconditional gotos in both directions. A shared
+// fuel counter guards every backward branch.
+func Unstructured(cfg Config) *lang.Program {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng}
+
+	n := cfg.Stmts
+	if n < 6 {
+		n = 6
+	}
+	// Choose which of the n body slots carry labels.
+	labeled := map[int]string{}
+	nLabels := n/4 + 1
+	for i := 0; i < nLabels; i++ {
+		slot := rng.Intn(n)
+		if _, ok := labeled[slot]; !ok {
+			labeled[slot] = fmt.Sprintf("L%d", slot)
+		}
+	}
+
+	var lines []string
+	lines = append(lines, "fuel = 25;")
+	for i := 0; i < cfg.Vars; i++ {
+		lines = append(lines, fmt.Sprintf("%s = %d;", g.varName(i), rng.Intn(10)))
+	}
+	slotLabel := func(slot int) string {
+		if l, ok := labeled[slot]; ok {
+			return l + ": "
+		}
+		return ""
+	}
+	// Pick a goto target; prefer labels, any direction.
+	targets := make([]int, 0, len(labeled))
+	for slot := range labeled {
+		targets = append(targets, slot)
+	}
+	for i := 0; i < len(targets); i++ {
+		for j := i + 1; j < len(targets); j++ {
+			if targets[j] < targets[i] {
+				targets[i], targets[j] = targets[j], targets[i]
+			}
+		}
+	}
+
+	for slot := 0; slot < n; slot++ {
+		prefix := slotLabel(slot)
+		kind := rng.Intn(10)
+		switch {
+		case kind < 2 && len(targets) > 0: // conditional goto
+			tgt := targets[rng.Intn(len(targets))]
+			if tgt <= slot {
+				// Backward branch: burn fuel first and guard on it.
+				lines = append(lines,
+					prefix+"fuel = fuel - 1;",
+					fmt.Sprintf("if (fuel > 0 && %s) goto %s;",
+						lang.ExprString(g.cond()), labeled[tgt]))
+			} else {
+				lines = append(lines, prefix+fmt.Sprintf("if (%s) goto %s;",
+					lang.ExprString(g.cond()), labeled[tgt]))
+			}
+		case kind == 2 && len(targets) > 0: // unconditional forward goto
+			// Emitted only when the very next slot carries a label, so
+			// the jumped-over code stays reachable (the paper's Figure
+			// 3 shape: "goto L13; L8: ..."). Anything else would be
+			// dead code, which the corpus avoids by construction.
+			var fwd []int
+			for _, tslot := range targets {
+				if tslot > slot {
+					fwd = append(fwd, tslot)
+				}
+			}
+			if _, nextLabeled := labeled[slot+1]; len(fwd) > 0 && nextLabeled {
+				tgt := fwd[rng.Intn(len(fwd))]
+				lines = append(lines, prefix+fmt.Sprintf("goto %s;", labeled[tgt]))
+			} else {
+				lines = append(lines, prefix+stmtText(g.simple()))
+			}
+		default:
+			lines = append(lines, prefix+stmtText(g.simple()))
+		}
+	}
+	for i := 0; i < cfg.Vars; i++ {
+		lines = append(lines, fmt.Sprintf("write(%s);", g.varName(i)))
+	}
+	return removeDeadCode(lang.MustParse(strings.Join(lines, "\n") + "\n"))
+}
+
+// stmtText renders a generated simple statement as a single source
+// line.
+func stmtText(s lang.Stmt) string {
+	return strings.TrimSpace(lang.FormatStmt(s, lang.PrintOptions{}))
+}
+
+// WriteCriteria returns (variable, line) pairs for every write
+// statement whose argument is a plain variable — the natural slicing
+// criteria of a generated program.
+func WriteCriteria(p *lang.Program) []struct {
+	Var  string
+	Line int
+} {
+	var out []struct {
+		Var  string
+		Line int
+	}
+	lang.WalkProgram(p, func(s lang.Stmt) {
+		w, ok := s.(*lang.WriteStmt)
+		if !ok {
+			return
+		}
+		if id, ok := w.Value.(*lang.Ident); ok {
+			out = append(out, struct {
+				Var  string
+				Line int
+			}{Var: id.Name, Line: w.P.Line})
+		}
+	})
+	return out
+}

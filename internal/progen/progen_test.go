@@ -1,0 +1,145 @@
+package progen
+
+import (
+	"errors"
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+)
+
+func TestStructuredDeterministic(t *testing.T) {
+	a := lang.Format(Structured(Config{Seed: 7, Stmts: 30}), lang.PrintOptions{})
+	b := lang.Format(Structured(Config{Seed: 7, Stmts: 30}), lang.PrintOptions{})
+	if a != b {
+		t.Error("same seed must generate the same program")
+	}
+	c := lang.Format(Structured(Config{Seed: 8, Stmts: 30}), lang.PrintOptions{})
+	if a == c {
+		t.Error("different seeds should generate different programs")
+	}
+}
+
+func TestUnstructuredDeterministic(t *testing.T) {
+	a := lang.Format(Unstructured(Config{Seed: 3, Stmts: 25}), lang.PrintOptions{})
+	b := lang.Format(Unstructured(Config{Seed: 3, Stmts: 25}), lang.PrintOptions{})
+	if a != b {
+		t.Error("same seed must generate the same program")
+	}
+}
+
+func TestStructuredProgramsTerminate(t *testing.T) {
+	inputs := [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}}
+	for seed := int64(0); seed < 60; seed++ {
+		p := Structured(Config{Seed: seed, Stmts: 40})
+		for _, in := range inputs {
+			if _, err := interp.Run(p, interp.Options{Input: in, MaxSteps: 100000}); err != nil {
+				t.Fatalf("seed %d input %v: %v\n%s", seed, in, err,
+					lang.Format(p, lang.PrintOptions{LineNumbers: true}))
+			}
+		}
+	}
+}
+
+func TestUnstructuredProgramsTerminate(t *testing.T) {
+	inputs := [][]int64{nil, {4, 4, 4}, {9, -2, 0, 1}}
+	for seed := int64(0); seed < 60; seed++ {
+		p := Unstructured(Config{Seed: seed, Stmts: 30})
+		for _, in := range inputs {
+			_, err := interp.Run(p, interp.Options{Input: in, MaxSteps: 200000})
+			if err != nil && !errors.Is(err, interp.ErrStepBudget) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err != nil {
+				t.Fatalf("seed %d: fuel guard failed — program did not terminate", seed)
+			}
+		}
+	}
+}
+
+func TestWriteCriteriaNonEmpty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, gen := range []func(Config) *lang.Program{Structured, Unstructured} {
+			p := gen(Config{Seed: seed, Stmts: 25})
+			if len(WriteCriteria(p)) == 0 {
+				t.Errorf("seed %d: generated program has no write criteria", seed)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsReparse(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for name, gen := range map[string]func(Config) *lang.Program{
+			"structured":   Structured,
+			"unstructured": Unstructured,
+		} {
+			p := gen(Config{Seed: seed, Stmts: 35})
+			src := lang.Format(p, lang.PrintOptions{})
+			if _, err := lang.Parse(src); err != nil {
+				t.Errorf("%s seed %d: formatted output does not reparse: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestUnstructuredHasJumps(t *testing.T) {
+	jumps := 0
+	for seed := int64(0); seed < 20; seed++ {
+		p := Unstructured(Config{Seed: seed, Stmts: 30})
+		lang.WalkProgram(p, func(s lang.Stmt) {
+			if lang.IsJump(s) {
+				jumps++
+			}
+		})
+	}
+	if jumps == 0 {
+		t.Error("unstructured generator produced no jumps at all across 20 seeds")
+	}
+}
+
+func TestStructuredHasStructuredJumps(t *testing.T) {
+	found := map[string]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		p := Structured(Config{Seed: seed, Stmts: 50})
+		lang.WalkProgram(p, func(s lang.Stmt) {
+			switch s.(type) {
+			case *lang.BreakStmt:
+				found["break"] = true
+			case *lang.ContinueStmt:
+				found["continue"] = true
+			case *lang.ReturnStmt:
+				found["return"] = true
+			case *lang.GotoStmt:
+				found["goto"] = true
+			}
+		})
+	}
+	for _, kind := range []string{"break", "continue", "goto"} {
+		if !found[kind] {
+			t.Errorf("structured generator never produced a %s across 40 seeds", kind)
+		}
+	}
+}
+
+func TestGeneratedProgramsHaveNoDeadCode(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		for name, gen := range map[string]func(Config) *lang.Program{
+			"structured":   Structured,
+			"unstructured": Unstructured,
+		} {
+			p := gen(Config{Seed: seed, Stmts: 30})
+			g, err := cfg.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reach := g.Reachable()
+			for _, n := range g.Nodes {
+				if !reach[n.ID] {
+					t.Errorf("%s seed %d: dead node %v", name, seed, n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package restructure
+
+import (
+	"reflect"
+	"testing"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/progen"
+)
+
+var inputs = [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}, {8, 8, -8, 8}}
+
+// TestRestructuredEquivalenceOnCorpus: the pc-loop form of every
+// corpus program produces the same writes and the same criterion
+// observations as the original.
+func TestRestructuredEquivalenceOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			orig := f.Parse()
+			flat, err := Program(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range inputs {
+				wantRes, err := interp.Run(orig, interp.Options{
+					Input: in, ObserveVar: f.Criterion.Var, ObserveLine: f.Criterion.Line})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRes, err := interp.Run(flat, interp.Options{
+					Input: in, ObserveVar: f.Criterion.Var, ObserveLine: f.Criterion.Line,
+					MaxSteps: 2000000})
+				if err != nil {
+					t.Fatalf("restructured: %v", err)
+				}
+				if !reflect.DeepEqual(gotRes.Output, wantRes.Output) {
+					t.Errorf("input %v: output %v, want %v", in, gotRes.Output, wantRes.Output)
+				}
+				if !reflect.DeepEqual(gotRes.Observations, wantRes.Observations) {
+					t.Errorf("input %v: observations %v, want %v",
+						in, gotRes.Observations, wantRes.Observations)
+				}
+			}
+		})
+	}
+}
+
+// TestRestructuredIsStructured: the output is a structured program in
+// the paper's sense (and contains no gotos at all).
+func TestRestructuredIsStructured(t *testing.T) {
+	for _, f := range paper.All() {
+		flat, err := Program(f.Parse())
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		a, err := core.Analyze(flat)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if !a.Structured() {
+			t.Errorf("%s: restructured program is not structured", f.Name)
+		}
+		lang.WalkProgram(flat, func(s lang.Stmt) {
+			if _, ok := s.(*lang.GotoStmt); ok {
+				t.Errorf("%s: restructured program contains a goto", f.Name)
+			}
+		})
+	}
+}
+
+// TestFigure12OnRestructuredGotoProgram: the Ball–Horwitz Section 5
+// pathway, end to end — restructure the paper's Figure 3-a goto
+// program, then run the structured-programs-only Figure 12 algorithm
+// on it, and check the slice still behaves correctly.
+func TestFigure12OnRestructuredGotoProgram(t *testing.T) {
+	f := paper.Fig3()
+	orig := f.Parse()
+	flat, err := Program(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line}
+	s, err := a.AgrawalStructured(c)
+	if err != nil {
+		t.Fatalf("Figure 12 on the restructured program: %v", err)
+	}
+	sliced := s.Materialize()
+	for _, in := range inputs {
+		want, err := interp.Observe(orig, in, c.Var, c.Line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Observe(sliced, in, c.Var, c.Line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("input %v: slice of restructured observes %v, original %v", in, got, want)
+		}
+	}
+}
+
+// TestRestructurePropertyOverGeneratedPrograms: equivalence over both
+// random corpora.
+func TestRestructurePropertyOverGeneratedPrograms(t *testing.T) {
+	for name, gen := range map[string]func(progen.Config) *lang.Program{
+		"structured":   progen.Structured,
+		"unstructured": progen.Unstructured,
+	} {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				p := gen(progen.Config{Seed: seed, Stmts: 30})
+				flat, err := Program(p)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, in := range inputs {
+					want, err := interp.Run(p, interp.Options{Input: in})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := interp.Run(flat, interp.Options{Input: in, MaxSteps: 2000000})
+					if err != nil {
+						t.Fatalf("seed %d input %v: %v", seed, in, err)
+					}
+					if !reflect.DeepEqual(got.Output, want.Output) {
+						t.Errorf("seed %d input %v: output %v, want %v",
+							seed, in, got.Output, want.Output)
+					}
+					if got.Returned != want.Returned || got.Value != want.Value {
+						t.Errorf("seed %d input %v: return (%v,%d), want (%v,%d)",
+							seed, in, got.Returned, got.Value, want.Returned, want.Value)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFreshNameAvoidsCollision: a program already using "pc" gets a
+// different counter variable.
+func TestFreshNameAvoidsCollision(t *testing.T) {
+	p := lang.MustParse("pc = 7;\npctag = 1;\nwrite(pc + pctag);")
+	flat, err := Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(flat, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{8}) {
+		t.Errorf("output = %v, want [8] — counter variable collided", res.Output)
+	}
+}
+
+// TestRestructureRoundTrips: the output parses and can itself be
+// restructured again (idempotent in behaviour).
+func TestRestructureRoundTrips(t *testing.T) {
+	p := paper.Fig8().Parse()
+	once, err := Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Program(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int64{3, -1, 4}
+	a, err := interp.Run(p, interp.Options{Input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Run(twice, interp.Options{Input: in, MaxSteps: 5000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Output, b.Output) {
+		t.Errorf("double-restructured output %v, want %v", b.Output, a.Output)
+	}
+}

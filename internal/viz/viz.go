@@ -1,0 +1,228 @@
+// Package viz renders the slicer's data structures in Graphviz DOT
+// format: the control flowgraph, the postdominator tree, the control
+// and data dependence graphs, the program dependence graph, and the
+// lexical successor tree. Together these regenerate the paper's graph
+// figures (2, 4, 6, 9, 11 and 15); cmd/paperfigs drives the rendering
+// for every corpus program.
+//
+// Slice members can be highlighted (the figures' shaded nodes) and
+// jump statements get the figures' thick outline.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/core"
+	"jumpslice/internal/dom"
+	"jumpslice/internal/lst"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Title is the graph label, e.g. "Figure 4-b: postdominator tree".
+	Title string
+	// Highlight marks nodes to shade (the slice members in the
+	// paper's figures), keyed by node ID.
+	Highlight map[int]bool
+	// LineLabels, when set, labels nodes with their source line number
+	// only — matching the paper's compact figures — instead of line
+	// plus statement text.
+	LineLabels bool
+}
+
+// nodeAttrs renders the attribute list for a flowgraph node.
+func nodeAttrs(n *cfg.Node, opts Options) string {
+	var label string
+	switch {
+	case n.Kind == cfg.KindEntry:
+		label = "entry"
+	case n.Kind == cfg.KindExit:
+		label = "exit"
+	case opts.LineLabels:
+		label = fmt.Sprintf("%d", n.Line)
+	default:
+		label = fmt.Sprintf("%d: %s", n.Line, n.String()[len(fmt.Sprintf("%d:%s ", n.Line, n.Kind)):])
+	}
+	attrs := []string{fmt.Sprintf("label=%q", label)}
+	if n.Kind.IsPredicate() || n.Kind == cfg.KindEntry {
+		attrs = append(attrs, "shape=diamond")
+	} else {
+		attrs = append(attrs, "shape=ellipse")
+	}
+	if n.Kind.IsJump() {
+		// The paper draws jump statements with thick outlines.
+		attrs = append(attrs, "penwidth=2.5")
+	}
+	if opts.Highlight[n.ID] {
+		attrs = append(attrs, `style=filled`, `fillcolor=gray80`)
+	}
+	return strings.Join(attrs, ", ")
+}
+
+func header(sb *strings.Builder, name string, opts Options) {
+	fmt.Fprintf(sb, "digraph %q {\n", name)
+	if opts.Title != "" {
+		fmt.Fprintf(sb, "  label=%q;\n  labelloc=t;\n", opts.Title)
+	}
+	sb.WriteString("  node [fontname=\"Helvetica\"];\n")
+}
+
+func declareNodes(sb *strings.Builder, g *cfg.Graph, opts Options, include func(*cfg.Node) bool) {
+	for _, n := range g.Nodes {
+		if include != nil && !include(n) {
+			continue
+		}
+		fmt.Fprintf(sb, "  n%d [%s];\n", n.ID, nodeAttrs(n, opts))
+	}
+}
+
+// CFG renders the control flowgraph. Edge labels carry branch
+// conditions (T/F, case values).
+func CFG(g *cfg.Graph, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "flowgraph", opts)
+	declareNodes(&sb, g, opts, nil)
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if e.Label != "" {
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", e.From, e.To, e.Label)
+			} else {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.From, e.To)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Tree renders a dominator-style tree (postdominator tree when built
+// on the reverse flowgraph) with edges parent → child.
+func Tree(g *cfg.Graph, t *dom.Tree, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "postdominators", opts)
+	declareNodes(&sb, g, opts, func(n *cfg.Node) bool { return t.Reachable(n.ID) })
+	order := t.Preorder()
+	for _, v := range order {
+		for _, c := range t.Children(v) {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", v, c)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// LST renders the lexical successor tree, edges parent → child (a
+// node's parent is its immediate lexical successor).
+func LST(g *cfg.Graph, t *lst.Tree, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "lexical_successors", opts)
+	declareNodes(&sb, g, opts, func(n *cfg.Node) bool { return n.Kind != cfg.KindEntry })
+	root := g.Exit.ID
+	var visit func(v int)
+	visit = func(v int) {
+		for _, c := range t.Children(v) {
+			if g.Nodes[c].Kind == cfg.KindEntry {
+				continue
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", v, c)
+			visit(c)
+		}
+	}
+	visit(root)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// CDGGraph renders the control dependence graph. Edge labels carry
+// the branch label ("T", "F", case values). The dummy entry predicate
+// is included, matching the paper's node 0.
+func CDGGraph(a *core.Analysis, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "control_dependence", opts)
+	used := map[int]bool{}
+	type edge struct {
+		from, to int
+		label    string
+	}
+	var edges []edge
+	for _, n := range a.CFG.Nodes {
+		for _, d := range a.CDG.Parents(n.ID) {
+			edges = append(edges, edge{from: d.From, to: n.ID, label: d.Label})
+			used[d.From] = true
+			used[n.ID] = true
+		}
+	}
+	declareNodes(&sb, a.CFG, opts, func(n *cfg.Node) bool { return used[n.ID] })
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", e.from, e.to, e.label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DDGGraph renders the data dependence graph: an edge def → use for
+// every flow dependence.
+func DDGGraph(a *core.Analysis, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "data_dependence", opts)
+	used := map[int]bool{}
+	for _, n := range a.CFG.Nodes {
+		for _, d := range a.PDG.DataDeps(n.ID) {
+			used[d] = true
+			used[n.ID] = true
+		}
+	}
+	declareNodes(&sb, a.CFG, opts, func(n *cfg.Node) bool { return used[n.ID] })
+	for _, n := range a.CFG.Nodes {
+		for _, d := range a.PDG.DataDeps(n.ID) {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", d, n.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// PDGGraph renders the merged program dependence graph: solid edges
+// for control dependence, dashed for data dependence, as is
+// conventional.
+func PDGGraph(a *core.Analysis, opts Options) string {
+	var sb strings.Builder
+	header(&sb, "program_dependence", opts)
+	used := map[int]bool{}
+	for _, n := range a.CFG.Nodes {
+		for _, d := range a.PDG.Deps(n.ID) {
+			used[d] = true
+			used[n.ID] = true
+		}
+	}
+	declareNodes(&sb, a.CFG, opts, func(n *cfg.Node) bool { return used[n.ID] })
+	for _, n := range a.CFG.Nodes {
+		for _, d := range a.PDG.ControlDeps(n.ID) {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", d, n.ID)
+		}
+		for _, d := range a.PDG.DataDeps(n.ID) {
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed];\n", d, n.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// SliceHighlight builds an Options.Highlight map from a slice.
+func SliceHighlight(s *core.Slice) map[int]bool {
+	out := map[int]bool{}
+	s.Nodes.ForEach(func(id int) { out[id] = true })
+	return out
+}

@@ -1,0 +1,141 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/paper"
+)
+
+func analyze(t *testing.T, f *paper.Figure) *core.Analysis {
+	t.Helper()
+	a, err := core.Analyze(f.Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// checkDOT performs basic well-formedness checks: balanced braces, a
+// digraph header, and no unescaped quotes inside labels.
+func checkDOT(t *testing.T, name, dot string) {
+	t.Helper()
+	if !strings.HasPrefix(dot, "digraph ") {
+		t.Errorf("%s: missing digraph header", name)
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Errorf("%s: unbalanced braces", name)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("%s: missing closing brace", name)
+	}
+}
+
+func TestAllRenderersOnCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		a := analyze(t, f)
+		opts := Options{Title: f.Name, LineLabels: true}
+		renders := map[string]string{
+			"cfg": CFG(a.CFG, opts),
+			"pdt": Tree(a.CFG, a.PDT, opts),
+			"lst": LST(a.CFG, a.LST, opts),
+			"cdg": CDGGraph(a, opts),
+			"ddg": DDGGraph(a, opts),
+			"pdg": PDGGraph(a, opts),
+		}
+		for name, dot := range renders {
+			checkDOT(t, f.Name+"/"+name, dot)
+		}
+	}
+}
+
+func TestCFGEdgeLabels(t *testing.T) {
+	a := analyze(t, paper.Fig1())
+	dot := CFG(a.CFG, Options{})
+	if !strings.Contains(dot, `label="T"`) || !strings.Contains(dot, `label="F"`) {
+		t.Errorf("flowgraph missing branch labels:\n%s", dot)
+	}
+}
+
+func TestSwitchDispatchLabels(t *testing.T) {
+	a := analyze(t, paper.Fig14())
+	dot := CFG(a.CFG, Options{})
+	for _, want := range []string{`label="1"`, `label="2"`, `label="3"`, `label="default"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("switch flowgraph missing %s", want)
+		}
+	}
+}
+
+func TestHighlightShadesSliceNodes(t *testing.T) {
+	f := paper.Fig3()
+	a := analyze(t, f)
+	s, err := a.Agrawal(core.Criterion{Var: f.Criterion.Var, Line: f.Criterion.Line})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := CFG(a.CFG, Options{Highlight: SliceHighlight(s)})
+	if got := strings.Count(dot, "fillcolor=gray80"); got < len(s.StatementNodes()) {
+		t.Errorf("highlighted %d nodes, want at least %d", got, len(s.StatementNodes()))
+	}
+}
+
+func TestJumpNodesThickOutline(t *testing.T) {
+	a := analyze(t, paper.Fig3())
+	dot := CFG(a.CFG, Options{})
+	jumps := 0
+	for _, n := range a.CFG.Nodes {
+		if n.Kind.IsJump() {
+			jumps++
+		}
+	}
+	if got := strings.Count(dot, "penwidth=2.5"); got != jumps {
+		t.Errorf("thick outlines = %d, want %d (one per jump)", got, jumps)
+	}
+}
+
+func TestTreeRendersEachReachableNodeOnce(t *testing.T) {
+	a := analyze(t, paper.Fig5())
+	dot := Tree(a.CFG, a.PDT, Options{LineLabels: true})
+	for _, n := range a.CFG.Nodes {
+		if !a.PDT.Reachable(n.ID) {
+			continue
+		}
+		decl := fmt.Sprintf("n%d [", n.ID)
+		if strings.Count(dot, decl) != 1 {
+			t.Errorf("node %d declared %d times", n.ID, strings.Count(dot, decl))
+		}
+	}
+	// A tree on N nodes has N-1 edges.
+	edges := strings.Count(dot, " -> ")
+	nodes := strings.Count(dot, " [")
+	if edges != nodes-1-1 { // minus the "node [fontname..." default line
+		t.Errorf("tree has %d edges for %d node declarations", edges, nodes-1)
+	}
+}
+
+func TestCDGIncludesEntryAsNodeZero(t *testing.T) {
+	a := analyze(t, paper.Fig1())
+	dot := CDGGraph(a, Options{})
+	if !strings.Contains(dot, `label="entry"`) {
+		t.Error("control dependence graph must show the dummy entry predicate")
+	}
+}
+
+func TestPDGUsesDashedDataEdges(t *testing.T) {
+	a := analyze(t, paper.Fig1())
+	dot := PDGGraph(a, Options{})
+	if !strings.Contains(dot, "style=dashed") {
+		t.Error("program dependence graph should draw data edges dashed")
+	}
+}
+
+func TestTitleEscaping(t *testing.T) {
+	a := analyze(t, paper.Fig1())
+	dot := CFG(a.CFG, Options{Title: `weird "quoted" title`})
+	if !strings.Contains(dot, `\"quoted\"`) {
+		t.Errorf("title not escaped:\n%s", dot[:200])
+	}
+}

@@ -1,0 +1,237 @@
+package jumpslice_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"jumpslice"
+	"jumpslice/internal/paper"
+)
+
+func newSlicer(t *testing.T, src string) *jumpslice.Slicer {
+	t.Helper()
+	s, err := jumpslice.New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	s := newSlicer(t, paper.Fig5().Source)
+	res, err := s.Slice("positives", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Lines, []int{2, 3, 4, 5, 7, 8, 14}) {
+		t.Errorf("lines = %v", res.Lines)
+	}
+	if !strings.Contains(res.Text, "continue;") {
+		t.Errorf("slice text missing the continue:\n%s", res.Text)
+	}
+	if !reflect.DeepEqual(res.JumpLines, []int{7}) {
+		t.Errorf("jump lines = %v, want [7]", res.JumpLines)
+	}
+}
+
+func TestFacadeAllAlgorithms(t *testing.T) {
+	s := newSlicer(t, paper.Fig16().Source)
+	algos := []jumpslice.Algorithm{
+		jumpslice.Conventional, jumpslice.Weiser, jumpslice.Agrawal,
+		jumpslice.AgrawalLST, jumpslice.Structured, jumpslice.Conservative,
+		jumpslice.BallHorwitz, jumpslice.Lyle, jumpslice.Gallagher,
+		jumpslice.JiangZhouRobson,
+	}
+	for _, algo := range algos {
+		if _, err := s.SliceWith(algo, "y", 10); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	if _, err := s.SliceWith("nonsense", "y", 10); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestFacadeStructuredDetection(t *testing.T) {
+	if s := newSlicer(t, paper.Fig5().Source); !s.Structured() {
+		t.Error("Figure 5-a should be structured")
+	}
+	if s := newSlicer(t, paper.Fig3().Source); s.Structured() {
+		t.Error("Figure 3-a should be unstructured")
+	}
+}
+
+func TestFacadeRelabeling(t *testing.T) {
+	s := newSlicer(t, paper.Fig8().Source)
+	res, err := s.Slice("positives", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"L12": 13, "L14": 15}
+	if !reflect.DeepEqual(res.RelabeledTo, want) {
+		t.Errorf("relabeled = %v, want %v", res.RelabeledTo, want)
+	}
+}
+
+func TestFacadeDOT(t *testing.T) {
+	s := newSlicer(t, paper.Fig10().Source)
+	res, err := s.Slice("y", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []jumpslice.GraphKind{
+		jumpslice.GraphCFG, jumpslice.GraphPDT, jumpslice.GraphLST,
+		jumpslice.GraphCDG, jumpslice.GraphDDG, jumpslice.GraphPDG,
+	} {
+		dot, err := s.DOT(kind, res)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.HasPrefix(dot, "digraph") {
+			t.Errorf("%s: not DOT", kind)
+		}
+	}
+	if _, err := s.DOT("nope", nil); err == nil {
+		t.Error("unknown graph kind should error")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	s := newSlicer(t, paper.Fig1().Source)
+	out, err := s.Run([]int64{3, -1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1] != 2 {
+		t.Errorf("output = %v, want positives = 2", out)
+	}
+}
+
+func TestFacadeRunSliceAgreement(t *testing.T) {
+	s := newSlicer(t, paper.Fig3().Source)
+	sliceObs, origObs, err := s.RunSlice(jumpslice.Agrawal, "positives", 15, []int64{1, -2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sliceObs, origObs) {
+		t.Errorf("slice observes %v, original %v", sliceObs, origObs)
+	}
+	// The conventional slice disagrees on this input — the paper's
+	// whole point, visible through the public API.
+	sliceObs, origObs, err = s.RunSlice(jumpslice.Conventional, "positives", 15, []int64{1, -2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(sliceObs, origObs) {
+		t.Error("conventional slice should disagree with the original on this input")
+	}
+}
+
+func TestFacadeParseError(t *testing.T) {
+	if _, err := jumpslice.New("x = ;"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestFacadeSourceEcho(t *testing.T) {
+	s := newSlicer(t, "a = 1;\nwrite(a);")
+	src := s.Source()
+	if !strings.Contains(src, "1: a = 1;") || !strings.Contains(src, "2: write(a);") {
+		t.Errorf("source echo malformed:\n%s", src)
+	}
+}
+
+func TestFacadeDynamicSlice(t *testing.T) {
+	s := newSlicer(t, paper.Fig5().Source)
+	dyn, err := s.DynamicSlice("positives", 14, []int64{-1, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := s.Slice("positives", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.Lines) >= len(static.Lines) {
+		t.Errorf("dynamic %v should be smaller than static %v on one-sided input",
+			dyn.Lines, static.Lines)
+	}
+	if !reflect.DeepEqual(dyn.Lines, []int{2, 14}) {
+		t.Errorf("dynamic lines = %v, want [2 14]", dyn.Lines)
+	}
+}
+
+func TestFacadeFlatten(t *testing.T) {
+	s := newSlicer(t, paper.Fig3().Source)
+	src, jumps, err := s.Flatten("positives", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jumps == 0 {
+		t.Error("expected synthesized jumps")
+	}
+	flat, err := jumpslice.New(src)
+	if err != nil {
+		t.Fatalf("flattened source does not parse: %v\n%s", err, src)
+	}
+	out, err := flat.Run([]int64{1, -2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executable slice writes only positives-relevant values; its
+	// single write is positives = 2.
+	if len(out) != 1 || out[0] != 2 {
+		t.Errorf("flat slice output = %v, want [2]", out)
+	}
+}
+
+func TestFacadeForwardAndChop(t *testing.T) {
+	s := newSlicer(t, "read(a);\nb = a + 1;\nc = 5;\nwrite(b);\nwrite(c);")
+	fwd, err := s.ForwardSlice("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fwd.Lines, []int{1, 2, 4}) {
+		t.Errorf("forward = %v, want [1 2 4]", fwd.Lines)
+	}
+	chop, err := s.Chop("a", 1, "b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chop.Lines, []int{1, 2, 4}) {
+		t.Errorf("chop = %v, want [1 2 4]", chop.Lines)
+	}
+	writes, err := s.AffectedWrites("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(writes, []int{4}) {
+		t.Errorf("affected writes = %v, want [4]", writes)
+	}
+}
+
+func TestFacadeRestructure(t *testing.T) {
+	s := newSlicer(t, paper.Fig3().Source)
+	flat, err := s.Restructure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(flat, "goto") {
+		t.Errorf("restructured program contains goto:\n%s", flat)
+	}
+	rs := newSlicer(t, flat)
+	if !rs.Structured() {
+		t.Error("restructured program should be structured")
+	}
+	a, err := rs.Run([]int64{1, -2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run([]int64{1, -2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("restructured output %v, original %v", a, b)
+	}
+}

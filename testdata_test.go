@@ -1,0 +1,43 @@
+package jumpslice_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jumpslice"
+	"jumpslice/internal/paper"
+)
+
+// TestTestdataMatchesCorpus keeps the on-disk sample programs in sync
+// with the built-in corpus: same statements, same slices, with the
+// criterion documented in the trailing comment.
+func TestTestdataMatchesCorpus(t *testing.T) {
+	for _, f := range paper.All() {
+		slug := strings.ReplaceAll(strings.ToLower(f.Name), " ", "_")
+		slug = strings.ReplaceAll(slug, "figure_", "fig")
+		path := filepath.Join("testdata", slug+".mc")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		src := string(data)
+		if !strings.Contains(src, "criterion: "+f.Criterion.Var) {
+			t.Errorf("%s: missing criterion comment", path)
+		}
+		s, err := jumpslice.New(src)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		res, err := s.Slice(f.Criterion.Var, f.Criterion.Line)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !reflect.DeepEqual(res.Lines, f.AgrawalLines) {
+			t.Errorf("%s: slice %v, want %v — file drifted from corpus",
+				path, res.Lines, f.AgrawalLines)
+		}
+	}
+}
