@@ -19,6 +19,7 @@ import (
 	"jumpslice/internal/core"
 	"jumpslice/internal/dom"
 	"jumpslice/internal/dynslice"
+	"jumpslice/internal/exps"
 	"jumpslice/internal/paper"
 	"jumpslice/internal/progen"
 	"jumpslice/internal/restructure"
@@ -168,6 +169,96 @@ func benchScaling(b *testing.B, run func(*core.Analysis, core.Criterion) (*core.
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := run(a, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSliceAll measures the batch slicing engine against
+// independent per-criterion calls: a 100-criterion corpus (write
+// criteria spread over several generated programs), sliced once with
+// per-criterion Agrawal (per-node BFS closures) and once with
+// SliceAll (shared SCC-condensed, memoized bitset closures). The
+// slices are asserted identical before timing; the acceptance target
+// is batch ≥ 2× faster.
+func BenchmarkSliceAll(b *testing.B) {
+	type task struct {
+		a     *core.Analysis
+		crits []core.Criterion
+	}
+	var tasks []task
+	total := 0
+	for seed := int64(0); total < 100; seed++ {
+		p := progen.Structured(progen.Config{Seed: seed, Stmts: 120})
+		a, err := core.Analyze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var crits []core.Criterion
+		for _, wc := range progen.WriteCriteria(p) {
+			crits = append(crits, core.Criterion{Var: wc.Var, Line: wc.Line})
+		}
+		total += len(crits)
+		tasks = append(tasks, task{a, crits})
+	}
+	for _, tk := range tasks {
+		batch, err := tk.a.SliceAll(tk.crits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, c := range tk.crits {
+			s, err := tk.a.Agrawal(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !s.Nodes.Equal(batch[i].Nodes) {
+				b.Fatalf("batch slice differs from Agrawal at %s", c)
+			}
+		}
+	}
+	b.Logf("criteria: %d over %d programs", total, len(tasks))
+	b.Run("independent-agrawal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tk := range tasks {
+				for _, c := range tk.crits {
+					if _, err := tk.a.Agrawal(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("batch-sliceall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tk := range tasks {
+				if _, err := tk.a.SliceAll(tk.crits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCorpusParallel measures the slicebench corpus evaluation
+// serial vs parallel (the -parallel flag's worker pool), on the E1
+// precision experiment — the parallel path produces identical tables,
+// so on a multicore machine the speedup is free (on one CPU it shows
+// the pool's overhead is negligible).
+func BenchmarkCorpusParallel(b *testing.B) {
+	base := exps.Options{Seeds: 24, Stmts: 40}
+	workerSet := []int{1, 4}
+	if n := exps.DefaultParallel(); n > 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, workers := range workerSet {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := base
+			o.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := exps.Precision(o); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,5 +1,6 @@
 // Command slicebench runs the repository's quantitative experiments
-// (EXPERIMENTS.md, tables E1–E4) over generated program corpora:
+// (EXPERIMENTS.md, tables E1–E4 and E6) over generated program
+// corpora:
 //
 //	slicebench -exp precision   # E1: slice sizes per algorithm
 //	slicebench -exp soundness   # E2: semantic correctness rates
@@ -8,27 +9,26 @@
 //	slicebench -exp dynamic     # E6: dynamic vs static slice sizes
 //	slicebench -exp all
 //
-// Corpus shape is controlled by -seeds and -stmts. All generation is
-// deterministic, so two runs print identical tables (timing rows vary
-// with the machine, of course).
+// Corpus shape is controlled by -seeds and -stmts. Corpus programs
+// are fanned out over a worker pool sized by -parallel (default: the
+// machine's GOMAXPROCS); results are reduced in seed order, so two
+// runs print identical tables at any parallelism (timing rows vary
+// with the machine, of course). -json FILE additionally writes every
+// computed table as machine-readable JSON, letting the performance
+// trajectory be tracked across commits.
+//
+// The experiment engines live in internal/exps; this command only
+// parses flags and renders tables.
 package main
 
 import (
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"reflect"
-	"sort"
-	"time"
 
-	"jumpslice/internal/baselines"
-	"jumpslice/internal/core"
-	"jumpslice/internal/dynslice"
-	"jumpslice/internal/interp"
-	"jumpslice/internal/lang"
-	"jumpslice/internal/progen"
+	"jumpslice/internal/exps"
 )
 
 func main() {
@@ -40,314 +40,152 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|all")
+	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|all")
 	seeds := fs.Int("seeds", 100, "number of generated programs per corpus")
 	stmts := fs.Int("stmts", 30, "approximate statements per program")
+	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
+	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch *exp {
-	case "precision":
-		return precision(out, *seeds, *stmts)
-	case "soundness":
-		return soundness(out, *seeds, *stmts)
-	case "timing":
-		return timing(out, *stmts)
-	case "traversals":
-		return traversals(out, *seeds, *stmts)
-	case "dynamic":
-		return dynamic(out, *seeds, *stmts)
-	case "all":
-		for _, f := range []func() error{
-			func() error { return precision(out, *seeds, *stmts) },
-			func() error { return soundness(out, *seeds, *stmts) },
-			func() error { return traversals(out, *seeds, *stmts) },
-			func() error { return dynamic(out, *seeds, *stmts) },
-			func() error { return timing(out, *stmts) },
-		} {
-			if err := f(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return fmt.Errorf("unknown experiment %q", *exp)
-}
+	o := exps.Options{Seeds: *seeds, Stmts: *stmts, Parallel: *parallel}
+	report := &exps.Report{Seeds: o.Seeds, Stmts: o.Stmts, Parallel: o.Parallel}
 
-// algoSet names the algorithms each experiment sweeps.
-type algoEntry struct {
-	name       string
-	structured bool // requires a structured program
-	run        func(a *core.Analysis, c core.Criterion) (*core.Slice, error)
-}
-
-func algorithms() []algoEntry {
-	return []algoEntry{
-		{"conventional", false, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Conventional(c) }},
-		{"agrawal (Fig 7)", false, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Agrawal(c) }},
-		{"structured (Fig 12)", true, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalStructured(c) }},
-		{"conservative (Fig 13)", true, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalConservative(c) }},
-		{"weiser", false, baselines.Weiser},
-		{"ball-horwitz", false, baselines.BallHorwitz},
-		{"lyle", false, baselines.Lyle},
-		{"gallagher", false, baselines.Gallagher},
-		{"jiang-zhou-robson", false, baselines.JiangZhouRobson},
-	}
-}
-
-// corpora yields the two generated corpora.
-func corpora(seeds, stmts int) map[string]func(int64) *lang.Program {
-	return map[string]func(int64) *lang.Program{
-		"structured":   func(s int64) *lang.Program { return progen.Structured(progen.Config{Seed: s, Stmts: stmts}) },
-		"unstructured": func(s int64) *lang.Program { return progen.Unstructured(progen.Config{Seed: s, Stmts: stmts}) },
-	}
-}
-
-func corpusNames() []string { return []string{"structured", "unstructured"} }
-
-// forEach iterates (analysis, criterion) cases of a corpus.
-func forEach(gen func(int64) *lang.Program, seeds int, fn func(a *core.Analysis, c core.Criterion) error) error {
-	for s := int64(0); s < int64(seeds); s++ {
-		p := gen(s)
-		a, err := core.Analyze(p)
-		if err != nil {
-			return err
-		}
-		crits := progen.WriteCriteria(p)
-		if len(crits) > 2 {
-			crits = crits[len(crits)-2:]
-		}
-		for _, wc := range crits {
-			if err := fn(a, core.Criterion{Var: wc.Var, Line: wc.Line}); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// precision prints E1: mean statements and mean jump statements per
-// slice, per algorithm and corpus.
-func precision(out io.Writer, seeds, stmts int) error {
-	fmt.Fprintf(out, "\nE1: slice precision (mean over %d programs/corpus, ~%d statements each)\n", seeds, stmts)
-	fmt.Fprintf(out, "%-22s %-13s %12s %12s %10s\n", "algorithm", "corpus", "mean stmts", "mean jumps", "cases")
-	gens := corpora(seeds, stmts)
-	for _, corpus := range corpusNames() {
-		gen := gens[corpus]
-		for _, ae := range algorithms() {
-			var totalStmts, totalJumps, cases int
-			err := forEach(gen, seeds, func(a *core.Analysis, c core.Criterion) error {
-				if ae.structured && !a.Structured() {
-					return nil
-				}
-				s, err := ae.run(a, c)
-				if err != nil {
-					if errors.Is(err, core.ErrUnstructured) {
-						return nil
-					}
-					return err
-				}
-				cases++
-				for _, id := range s.StatementNodes() {
-					totalStmts++
-					if a.CFG.Nodes[id].Kind.IsJump() {
-						totalJumps++
-					}
-				}
-				return nil
-			})
+	steps := map[string]func() error{
+		"precision": func() error {
+			rows, err := exps.Precision(o)
 			if err != nil {
 				return err
 			}
-			if cases == 0 {
-				continue
-			}
-			fmt.Fprintf(out, "%-22s %-13s %12.2f %12.2f %10d\n",
-				ae.name, corpus,
-				float64(totalStmts)/float64(cases),
-				float64(totalJumps)/float64(cases), cases)
-		}
-	}
-	return nil
-}
-
-var soundnessInputs = [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}, {8, 8, -8, 8}, {0, 0, 0, 1, 1, 1}}
-
-// sound checks one slice against the original on the shared inputs.
-func sound(orig *lang.Program, s *core.Slice) (bool, error) {
-	sliced := s.Materialize()
-	for _, in := range soundnessInputs {
-		want, err := interp.Observe(orig, in, s.Criterion.Var, s.Criterion.Line)
-		if err != nil {
-			return false, err
-		}
-		got, err := interp.Observe(sliced, in, s.Criterion.Var, s.Criterion.Line)
-		if errors.Is(err, interp.ErrStepBudget) {
-			return false, nil // diverging slice: definitely wrong
-		}
-		if err != nil {
-			return false, err
-		}
-		if !reflect.DeepEqual(got, want) {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
-// soundness prints E2: fraction of criteria whose slice reproduces the
-// original observations.
-func soundness(out io.Writer, seeds, stmts int) error {
-	fmt.Fprintf(out, "\nE2: semantic soundness under interpretation (%d inputs/case)\n", len(soundnessInputs))
-	fmt.Fprintf(out, "%-22s %-13s %10s %10s %9s\n", "algorithm", "corpus", "sound", "cases", "rate")
-	gens := corpora(seeds, stmts)
-	for _, corpus := range corpusNames() {
-		gen := gens[corpus]
-		for _, ae := range algorithms() {
-			var ok, cases int
-			err := forEach(gen, seeds, func(a *core.Analysis, c core.Criterion) error {
-				if ae.structured && !a.Structured() {
-					return nil
-				}
-				s, err := ae.run(a, c)
-				if err != nil {
-					if errors.Is(err, core.ErrUnstructured) {
-						return nil
-					}
-					return err
-				}
-				good, err := sound(a.Prog, s)
-				if err != nil {
-					return err
-				}
-				cases++
-				if good {
-					ok++
-				}
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			if cases == 0 {
-				continue
-			}
-			fmt.Fprintf(out, "%-22s %-13s %10d %10d %8.1f%%\n",
-				ae.name, corpus, ok, cases, 100*float64(ok)/float64(cases))
-		}
-	}
-	return nil
-}
-
-// traversals prints E4: distribution of Figure 7 traversal counts.
-func traversals(out io.Writer, seeds, stmts int) error {
-	fmt.Fprintf(out, "\nE4: Figure 7 postdominator-tree traversal counts (total, incl. final empty pass)\n")
-	gens := corpora(seeds, stmts)
-	for _, corpus := range corpusNames() {
-		gen := gens[corpus]
-		hist := map[int]int{}
-		err := forEach(gen, seeds, func(a *core.Analysis, c core.Criterion) error {
-			s, err := a.Agrawal(c)
-			if err != nil {
-				return err
-			}
-			hist[s.Traversals]++
+			report.E1 = rows
+			printPrecision(out, o, rows)
 			return nil
-		})
-		if err != nil {
+		},
+		"soundness": func() error {
+			rows, err := exps.Soundness(o)
+			if err != nil {
+				return err
+			}
+			report.E2 = rows
+			printSoundness(out, rows)
+			return nil
+		},
+		"timing": func() error {
+			rows, err := exps.Timing(o)
+			if err != nil {
+				return err
+			}
+			report.E3 = rows
+			printTiming(out, rows)
+			return nil
+		},
+		"traversals": func() error {
+			rows, err := exps.Traversals(o)
+			if err != nil {
+				return err
+			}
+			report.E4 = rows
+			printTraversals(out, rows)
+			return nil
+		},
+		"dynamic": func() error {
+			rows, err := exps.Dynamic(o)
+			if err != nil {
+				return err
+			}
+			report.E6 = rows
+			printDynamic(out, rows)
+			return nil
+		},
+	}
+
+	var order []string
+	switch *exp {
+	case "all":
+		order = []string{"precision", "soundness", "traversals", "dynamic", "timing"}
+	default:
+		if steps[*exp] == nil {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		order = []string{*exp}
+	}
+	for _, name := range order {
+		if err := steps[name](); err != nil {
 			return err
 		}
-		var keys []int
-		for k := range hist {
-			keys = append(keys, k)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			return err
 		}
-		sort.Ints(keys)
-		fmt.Fprintf(out, "%-13s:", corpus)
-		for _, k := range keys {
-			fmt.Fprintf(out, "  %d traversals ×%d", k, hist[k])
+		fmt.Fprintf(out, "\nwrote JSON results to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func writeJSON(path string, report *exps.Report) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printPrecision(out io.Writer, o exps.Options, rows []exps.PrecisionRow) {
+	fmt.Fprintf(out, "\nE1: slice precision (mean over %d programs/corpus, ~%d statements each)\n", o.Seeds, o.Stmts)
+	fmt.Fprintf(out, "%-22s %-13s %12s %12s %10s\n", "algorithm", "corpus", "mean stmts", "mean jumps", "cases")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %-13s %12.2f %12.2f %10d\n",
+			r.Algorithm, r.Corpus, r.MeanStmts, r.MeanJumps, r.Cases)
+	}
+}
+
+func printSoundness(out io.Writer, rows []exps.SoundnessRow) {
+	fmt.Fprintf(out, "\nE2: semantic soundness under interpretation (%d inputs/case)\n", len(exps.SoundnessInputs))
+	fmt.Fprintf(out, "%-22s %-13s %10s %10s %9s\n", "algorithm", "corpus", "sound", "cases", "rate")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s %-13s %10d %10d %8.1f%%\n", r.Algorithm, r.Corpus, r.Sound, r.Cases, r.Rate())
+	}
+}
+
+func printTraversals(out io.Writer, rows []exps.TraversalRow) {
+	fmt.Fprintf(out, "\nE4: Figure 7 postdominator-tree traversal counts (total, incl. final empty pass)\n")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-13s:", r.Corpus)
+		for _, bin := range r.Counts {
+			fmt.Fprintf(out, "  %d traversals ×%d", bin.Traversals, bin.Cases)
 		}
 		fmt.Fprintln(out)
 	}
 	fmt.Fprintln(out, "(the paper's Section 4 claims one productive traversal suffices for structured")
 	fmt.Fprintln(out, " programs; measured, rare closure-driven cases need a second — see EXPERIMENTS.md)")
-	return nil
 }
 
-// dynamic prints E6: how much smaller dynamic slices are than static
-// ones, per input profile.
-func dynamic(out io.Writer, seeds, stmts int) error {
+func printDynamic(out io.Writer, rows []exps.DynamicRow) {
 	fmt.Fprintf(out, "\nE6: dynamic slice size as a fraction of the static (Figure 7) slice\n")
-	profiles := map[string][]int64{
-		"empty input": nil,
-		"short input": {1, -2},
-		"mixed input": {3, -1, 4, 0, 5, -9, 2},
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-13s %-12s dynamic %6.2f vs static %6.2f stmts (%.0f%%), %d cases\n",
+			r.Corpus, r.Profile, r.DynamicStmts, r.StaticStmts,
+			100*r.DynamicStmts/r.StaticStmts, r.Cases)
 	}
-	gens := corpora(seeds, stmts)
-	for _, corpus := range corpusNames() {
-		gen := gens[corpus]
-		for _, name := range []string{"empty input", "short input", "mixed input"} {
-			in := profiles[name]
-			var dynTotal, statTotal, cases int
-			err := forEach(gen, seeds, func(a *core.Analysis, c core.Criterion) error {
-				static, err := a.Agrawal(c)
-				if err != nil {
-					return err
-				}
-				dyn, err := dynslice.Slice(a, c, dynslice.Options{Input: in})
-				if err != nil {
-					return err
-				}
-				dynTotal += len(dyn.StatementNodes())
-				statTotal += len(static.StatementNodes())
-				cases++
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "%-13s %-12s dynamic %6.2f vs static %6.2f stmts (%.0f%%), %d cases\n",
-				corpus, name,
-				float64(dynTotal)/float64(cases), float64(statTotal)/float64(cases),
-				100*float64(dynTotal)/float64(statTotal), cases)
-		}
-	}
-	return nil
 }
 
-// timing prints E3: mean analysis+slice time per algorithm at a few
-// program sizes.
-func timing(out io.Writer, _ int) error {
+func printTiming(out io.Writer, rows []exps.TimingRow) {
 	fmt.Fprintf(out, "\nE3: wall-clock per slice (analysis excluded), mean of repeated runs\n")
-	sizes := []int{20, 60, 180, 540}
 	fmt.Fprintf(out, "%-22s", "algorithm")
-	for _, n := range sizes {
+	for _, n := range exps.TimingSizes {
 		fmt.Fprintf(out, " %12s", fmt.Sprintf("~%d stmts", n))
 	}
 	fmt.Fprintln(out)
-	for _, ae := range algorithms() {
-		fmt.Fprintf(out, "%-22s", ae.name)
-		for _, n := range sizes {
-			p := progen.Structured(progen.Config{Seed: 1, Stmts: n})
-			a, err := core.Analyze(p)
-			if err != nil {
-				return err
-			}
-			crits := progen.WriteCriteria(p)
-			c := core.Criterion{Var: crits[len(crits)-1].Var, Line: crits[len(crits)-1].Line}
-			if ae.structured && !a.Structured() {
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-22s", r.Algorithm)
+		for _, d := range r.Cells {
+			if d < 0 {
 				fmt.Fprintf(out, " %12s", "n/a")
 				continue
 			}
-			const reps = 50
-			start := time.Now()
-			for i := 0; i < reps; i++ {
-				if _, err := ae.run(a, c); err != nil {
-					return err
-				}
-			}
-			fmt.Fprintf(out, " %12s", time.Since(start)/reps)
+			fmt.Fprintf(out, " %12s", d)
 		}
 		fmt.Fprintln(out)
 	}
-	return nil
 }

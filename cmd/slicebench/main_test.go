@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"jumpslice/internal/exps"
 )
 
 func TestPrecisionTable(t *testing.T) {
@@ -57,6 +62,57 @@ func TestDeterministicTables(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("precision table not deterministic")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	var serial, parallel strings.Builder
+	args := []string{"-exp", "precision", "-seeds", "8", "-stmts", "20"}
+	if err := run(append(args, "-parallel", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-parallel", "4"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel run differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15", "-json", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote JSON results to") {
+		t.Errorf("missing JSON confirmation line:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report exps.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if report.Seeds != 5 || report.Stmts != 15 {
+		t.Errorf("report options = (%d seeds, %d stmts), want (5, 15)", report.Seeds, report.Stmts)
+	}
+	if len(report.E1) == 0 {
+		t.Error("report.E1 empty after round-trip")
+	}
+	back, err := json.Marshal(&report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again exps.Report
+	if err := json.Unmarshal(back, &again); err != nil {
+		t.Fatalf("re-marshaled JSON does not parse: %v", err)
+	}
+	if len(again.E1) != len(report.E1) {
+		t.Errorf("round-trip changed E1 length: %d vs %d", len(again.E1), len(report.E1))
 	}
 }
 

@@ -156,11 +156,58 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// ForEachWord calls fn for each nonzero word of the set, passing the
+// word index (members in the word are wi*64 + bit offsets). It is the
+// word-granular counterpart of ForEach for callers that can process
+// 64 members at a time.
+func (s *Set) ForEachWord(fn func(wi int, w uint64)) {
+	for wi, w := range s.words {
+		if w != 0 {
+			fn(wi, w)
+		}
+	}
+}
+
+// NextSet returns the smallest member >= i, or -1 if there is none.
+// It enables allocation- and closure-free iteration:
+//
+//	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
 // Members returns the members in increasing order.
 func (s *Set) Members() []int {
-	out := make([]int, 0, s.Len())
-	s.ForEach(func(i int) { out = append(out, i) })
-	return out
+	return s.AppendMembers(make([]int, 0, s.Len()))
+}
+
+// AppendMembers appends the members in increasing order to dst and
+// returns the extended slice, letting hot paths reuse a scratch
+// buffer across calls.
+func (s *Set) AppendMembers(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // String renders the set as "{1, 5, 9}".

@@ -161,3 +161,92 @@ func TestSetAlgebraProperties(t *testing.T) {
 		t.Errorf("Len inconsistent with Members: %v", err)
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	members := []int{0, 3, 63, 64, 100, 190, 199}
+	for _, i := range members {
+		s.Add(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if !reflect.DeepEqual(got, members) {
+		t.Errorf("NextSet iteration = %v, want %v", got, members)
+	}
+	if got := s.NextSet(1); got != 3 {
+		t.Errorf("NextSet(1) = %d, want 3", got)
+	}
+	if got := s.NextSet(65); got != 100 {
+		t.Errorf("NextSet(65) = %d, want 100", got)
+	}
+	if got := s.NextSet(-5); got != 0 {
+		t.Errorf("NextSet(-5) = %d, want 0", got)
+	}
+	if got := New(64).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+	if got := s.NextSet(200); got != -1 {
+		t.Errorf("NextSet past capacity = %d, want -1", got)
+	}
+}
+
+func TestNextSetMatchesForEach(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		s := New(1 << 16)
+		for _, v := range raw {
+			s.Add(int(v))
+		}
+		var a, b []int
+		s.ForEach(func(i int) { a = append(a, i) })
+		for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+			b = append(b, i)
+		}
+		return reflect.DeepEqual(a, b)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachWord(t *testing.T) {
+	s := New(300)
+	for _, i := range []int{1, 64, 65, 299} {
+		s.Add(i)
+	}
+	rebuilt := New(300)
+	words := 0
+	s.ForEachWord(func(wi int, w uint64) {
+		words++
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				rebuilt.Add(wi*64 + b)
+			}
+		}
+	})
+	if words != 3 {
+		t.Errorf("ForEachWord visited %d words, want 3 (zero words must be skipped)", words)
+	}
+	if !rebuilt.Equal(s) {
+		t.Errorf("ForEachWord rebuilt %v, want %v", rebuilt, s)
+	}
+}
+
+func TestAppendMembers(t *testing.T) {
+	s := New(100)
+	s.Add(5)
+	s.Add(70)
+	buf := make([]int, 0, 8)
+	got := s.AppendMembers(buf)
+	if !reflect.DeepEqual(got, []int{5, 70}) {
+		t.Errorf("AppendMembers = %v, want [5 70]", got)
+	}
+	got = s.AppendMembers(got[:0])
+	if !reflect.DeepEqual(got, []int{5, 70}) {
+		t.Errorf("AppendMembers reuse = %v, want [5 70]", got)
+	}
+	if !reflect.DeepEqual(s.Members(), []int{5, 70}) {
+		t.Errorf("Members = %v, want [5 70]", s.Members())
+	}
+}

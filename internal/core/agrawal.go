@@ -22,8 +22,16 @@ import (
 // running example relies on this: including node 13 of Figure 3 makes
 // it the nearest postdominator and lexical successor of node 11, so 11
 // is rejected later in the same traversal).
+//
+// For many criteria on the same Analysis, SliceAll computes the same
+// slices faster by sharing memoized dependence closures.
 func (a *Analysis) Agrawal(c Criterion) (*Slice, error) {
-	conv, err := a.Conventional(c)
+	return a.agrawalWith(c, a.engine())
+}
+
+// agrawalWith is Agrawal parameterized by the closure engine.
+func (a *Analysis) agrawalWith(c Criterion, eng depEngine) (*Slice, error) {
+	conv, err := a.conventionalWith(c, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +42,7 @@ func (a *Analysis) Agrawal(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal",
 		Nodes:     set,
 	}
-	jumps, traversals, err := a.RepairJumps(set)
+	jumps, traversals, err := a.repairJumps(set, a.jumpsPDT, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -56,19 +64,27 @@ func (a *Analysis) Agrawal(c Criterion) (*Slice, error) {
 // variants that compute their base set differently — the dynamic
 // slicer (internal/dynslice) repairs a dynamic statement set with it.
 func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, traversals int, err error) {
-	order := a.PDT.Preorder()
+	return a.repairJumps(set, a.jumpsPDT, a.engine())
+}
+
+// repairJumps is the Figure 7 loop over a precomputed worklist of
+// live jumps in tree-preorder (jumpsPDT for the paper's driver,
+// jumpsLST for the lexical-successor alternative). Each traversal
+// touches only jump nodes; non-jumps were never acted on, so the
+// additions — and the reported traversal count — are identical to a
+// full-preorder scan.
+func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (jumpsAdded []int, traversals int, err error) {
 	for {
 		traversals++
 		changed := false
-		for _, v := range order {
-			n := a.CFG.Nodes[v]
-			if !n.Kind.IsJump() || set.Has(v) || !a.live[v] {
+		for _, v := range worklist {
+			if set.Has(v) {
 				continue
 			}
 			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
 				continue
 			}
-			a.addJumpWithClosure(set, v)
+			a.addJumpWithClosure(set, v, eng)
 			jumpsAdded = append(jumpsAdded, v)
 			changed = true
 		}
@@ -101,29 +117,11 @@ func (a *Analysis) AgrawalLST(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal-lst",
 		Nodes:     set,
 	}
-	order := a.LST.Preorder()
-	for {
-		s.Traversals++
-		changed := false
-		for _, v := range order {
-			n := a.CFG.Nodes[v]
-			if !n.Kind.IsJump() || set.Has(v) || !a.live[v] {
-				continue
-			}
-			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
-				continue
-			}
-			a.addJumpWithClosure(set, v)
-			s.JumpsAdded = append(s.JumpsAdded, v)
-			changed = true
-		}
-		if !changed {
-			break
-		}
-		if s.Traversals > len(a.CFG.Nodes)+1 {
-			return nil, fmt.Errorf("core: LST-driven algorithm failed to converge after %d traversals", s.Traversals)
-		}
+	jumps, traversals, err := a.repairJumps(set, a.jumpsLST, a.engine())
+	if err != nil {
+		return nil, fmt.Errorf("core: LST-driven algorithm: %w", err)
 	}
+	s.JumpsAdded, s.Traversals = jumps, traversals
 	s.Relabeled = a.retargetLabels(set)
 	return s, nil
 }
@@ -132,7 +130,7 @@ func (a *Analysis) AgrawalLST(c Criterion) (*Slice, error) {
 // transitive closure of its data and control dependences, keeping the
 // conditional-jump adaptation invariant (a predicate pulled in by the
 // closure brings its associated jump along — Figure 8's predicate 9).
-func (a *Analysis) addJumpWithClosure(set *bits.Set, v int) {
-	a.PDG.GrowClosure(set, v)
-	a.normalizeSlice(set)
+func (a *Analysis) addJumpWithClosure(set *bits.Set, v int, eng depEngine) {
+	eng.grow(set, v)
+	a.normalizeSlice(set, eng)
 }

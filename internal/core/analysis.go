@@ -30,6 +30,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"jumpslice/internal/bits"
 	"jumpslice/internal/cdg"
@@ -88,6 +89,42 @@ type Analysis struct {
 	// its body). if and while bodies cannot postdominate their
 	// predicates in structured code, so only switches need this.
 	enclosingSwitch []int
+
+	// Precomputed worklists for the jump-detection and normalization
+	// phases. The Figure 7 traversal only ever acts on live jump
+	// nodes, so the preorders are filtered to those once here instead
+	// of re-scanning (and re-filtering) every tree node per traversal;
+	// likewise normalizeSlice only acts on conditional-jump predicates
+	// and on switch-enclosed statements, so those are listed once
+	// instead of scanning all CFG nodes per fixpoint pass. Relative
+	// order is preserved, so traversal results are unchanged.
+
+	// jumpsPDT lists the live jump node IDs in postdominator-tree
+	// preorder (Figure 7's traversal order); jumpsLST is its lexical-
+	// successor-tree twin (the paper's alternative driver).
+	jumpsPDT []int
+	jumpsLST []int
+	// condJumps lists each conditional-jump pair: an if-with-no-else
+	// predicate and the single jump statement forming its body, in
+	// ascending predicate node order.
+	condJumps []condJumpPair
+	// switchNodes lists the node IDs with enclosingSwitch >= 0,
+	// ascending.
+	switchNodes []int
+	// gotoNodes lists the goto statement nodes, in node order, for
+	// label retargeting.
+	gotoNodes []*cfg.Node
+
+	// batchCond is the lazily-built condensation of the invariant-
+	// augmented dependence relation backing SliceAll; see batchEngine.
+	batchOnce sync.Once
+	batchCond *pdg.Condensation
+}
+
+// condJumpPair records a conditional jump statement: the predicate
+// node of "if (e) goto L" and its jump node.
+type condJumpPair struct {
+	pred, jump int
 }
 
 // Analyze parses nothing: it takes an already-parsed program and
@@ -152,7 +189,36 @@ func Analyze(prog *lang.Program) (*Analysis, error) {
 	for _, s := range prog.Body {
 		record(s, -1)
 	}
+	a.jumpsPDT = a.filterLiveJumps(a.PDT.Preorder())
+	a.jumpsLST = a.filterLiveJumps(a.LST.Preorder())
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.KindPredicate {
+			if j := a.conditionalJumpOf(n); j != nil {
+				a.condJumps = append(a.condJumps, condJumpPair{n.ID, j.ID})
+			}
+		}
+		if n.Kind == cfg.KindGoto {
+			a.gotoNodes = append(a.gotoNodes, n)
+		}
+	}
+	for id, sw := range a.enclosingSwitch {
+		if sw >= 0 {
+			a.switchNodes = append(a.switchNodes, id)
+		}
+	}
 	return a, nil
+}
+
+// filterLiveJumps projects a tree preorder onto the live jump nodes,
+// preserving order — the only nodes the Figure 7 traversals act on.
+func (a *Analysis) filterLiveJumps(order []int) []int {
+	var out []int
+	for _, v := range order {
+		if a.CFG.Nodes[v].Kind.IsJump() && a.live[v] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // MustAnalyze is Analyze but panics on error, for known-good corpus
@@ -219,12 +285,12 @@ func (s *Slice) Has(id int) bool { return s.Nodes.Has(id) }
 // figures use.
 func (s *Slice) Lines() []int {
 	seen := map[int]bool{}
-	s.Nodes.ForEach(func(id int) {
+	for id := s.Nodes.NextSet(0); id >= 0; id = s.Nodes.NextSet(id + 1) {
 		n := s.Analysis.CFG.Nodes[id]
 		if n.Line > 0 {
 			seen[n.Line] = true
 		}
-	})
+	}
 	lines := make([]int, 0, len(seen))
 	for l := range seen {
 		lines = append(lines, l)
@@ -237,12 +303,12 @@ func (s *Slice) Lines() []int {
 // ascending order.
 func (s *Slice) StatementNodes() []int {
 	var out []int
-	s.Nodes.ForEach(func(id int) {
+	for id := s.Nodes.NextSet(0); id >= 0; id = s.Nodes.NextSet(id + 1) {
 		n := s.Analysis.CFG.Nodes[id]
 		if n.Kind != cfg.KindEntry && n.Kind != cfg.KindExit {
 			out = append(out, id)
 		}
-	})
+	}
 	return out
 }
 
@@ -254,12 +320,12 @@ func (s *Slice) StatementNodes() []int {
 // code different connectivity than the plain one.
 func (s *Slice) LiveStatementNodes() []int {
 	var out []int
-	s.Nodes.ForEach(func(id int) {
+	for id := s.Nodes.NextSet(0); id >= 0; id = s.Nodes.NextSet(id + 1) {
 		n := s.Analysis.CFG.Nodes[id]
 		if n.Kind != cfg.KindEntry && n.Kind != cfg.KindExit && s.Analysis.live[id] {
 			out = append(out, id)
 		}
-	})
+	}
 	return out
 }
 
@@ -319,37 +385,44 @@ func (a *Analysis) resolveCriterion(c Criterion) ([]int, error) {
 	return seeds, nil
 }
 
-// nearestInTreeSlice walks tree ancestors of v (postdominator or
-// lexical successor tree) and returns the first node present in the
-// slice set. The tree root (Exit) counts as always in the slice, so
-// the walk always terminates with a well-defined answer.
-func nearestInTreeSlice(root int, walk func(v int, fn func(int) bool), v int, set *bits.Set) int {
-	result := root
-	walk(v, func(anc int) bool {
-		if anc == root || set.Has(anc) {
-			result = anc
-			return false
-		}
-		return true
-	})
-	return result
-}
-
 // Live reports whether the node is reachable from Entry.
 func (a *Analysis) Live(id int) bool { return a.live[id] }
+
+// The nearest-in-slice walks below follow the trees' parent arrays
+// directly instead of the callback Walk helpers: they run for every
+// candidate jump on every traversal, and the direct loops keep the
+// Figure 7 inner loop free of closure allocations. The tree root
+// (Exit) counts as always in the slice, so each walk terminates with
+// a well-defined answer.
 
 // nearestPostdomInSlice returns the nearest strict postdominator of v
 // present in set (Exit if none). Nodes with undefined postdominators
 // (on inescapable cycles) report Exit.
 func (a *Analysis) nearestPostdomInSlice(v int, set *bits.Set) int {
+	root := a.CFG.Exit.ID
 	if !a.PDT.Reachable(v) {
-		return a.CFG.Exit.ID
+		return root
 	}
-	return nearestInTreeSlice(a.CFG.Exit.ID, a.PDT.Walk, v, set)
+	idom := a.PDT.Idom
+	for v != root {
+		v = idom[v]
+		if v == root || set.Has(v) {
+			break
+		}
+	}
+	return v
 }
 
 // nearestLexInSlice returns the nearest proper lexical successor of v
 // present in set (Exit if none).
 func (a *Analysis) nearestLexInSlice(v int, set *bits.Set) int {
-	return nearestInTreeSlice(a.CFG.Exit.ID, a.LST.Walk, v, set)
+	root := a.CFG.Exit.ID
+	parent := a.LST.Parent
+	for v != root {
+		v = parent[v]
+		if v == root || set.Has(v) {
+			break
+		}
+	}
+	return v
 }

@@ -18,18 +18,24 @@ import (
 // Ottenstein PDG slice and is correct; on programs with jumps it is
 // the baseline the paper's Figures 3-b and 5-b show to be wrong.
 func (a *Analysis) Conventional(c Criterion) (*Slice, error) {
+	return a.conventionalWith(c, a.engine())
+}
+
+// conventionalWith is Conventional parameterized by the closure
+// engine, shared by the single-criterion and batch entry points.
+func (a *Analysis) conventionalWith(c Criterion, eng depEngine) (*Slice, error) {
 	seeds, err := a.resolveCriterion(c)
 	if err != nil {
 		return nil, err
 	}
-	set := a.PDG.BackwardClosure(seeds)
+	set := eng.backwardClosure(seeds)
 	// The dummy entry predicate (the paper's node 0) is in every
 	// slice by construction. The closure reaches it through any live
 	// statement's control dependence chain; seeding it explicitly
 	// also covers criteria in dead code, whose statements have no
 	// dependence path to anything.
 	set.Add(a.CFG.Entry.ID)
-	a.normalizeSlice(set)
+	a.normalizeSlice(set, eng)
 	return &Slice{
 		Analysis:  a,
 		Criterion: c,
@@ -57,10 +63,22 @@ func (a *Analysis) Conventional(c Criterion) (*Slice, error) {
 //     enclosing construct; a slice is a projection of the program, so
 //     that must not happen (and the lexical-successor test of Figure
 //     7 implicitly assumes it does not).
-func (a *Analysis) normalizeSlice(set *bits.Set) {
+//
+// Both passes run over worklists precomputed at Analyze time (the
+// conditional-jump pairs and the switch-enclosed nodes) rather than
+// scanning every CFG node; the worklists preserve node order, so the
+// fixpoint reached is identical.
+//
+// Engines whose closures bake the invariants in as dependence edges
+// (the batch condensation) are already at the fixpoint, so the passes
+// are skipped outright.
+func (a *Analysis) normalizeSlice(set *bits.Set, eng depEngine) {
+	if eng.closuresNormalized() {
+		return
+	}
 	for {
-		changed := a.condJumpAdaptationOnce(set)
-		if a.enforceSwitchEnclosureOnce(set) {
+		changed := a.condJumpAdaptationOnce(set, eng)
+		if a.enforceSwitchEnclosureOnce(set, eng) {
 			changed = true
 		}
 		if !changed {
@@ -71,15 +89,11 @@ func (a *Analysis) normalizeSlice(set *bits.Set) {
 
 // condJumpAdaptationOnce performs one pass of invariant 1, reporting
 // whether anything was added.
-func (a *Analysis) condJumpAdaptationOnce(set *bits.Set) bool {
+func (a *Analysis) condJumpAdaptationOnce(set *bits.Set, eng depEngine) bool {
 	changed := false
-	for _, n := range a.CFG.Nodes {
-		if n.Kind != cfg.KindPredicate || !set.Has(n.ID) {
-			continue
-		}
-		j := a.conditionalJumpOf(n)
-		if j != nil && !set.Has(j.ID) {
-			a.PDG.GrowClosure(set, j.ID)
+	for _, cj := range a.condJumps {
+		if set.Has(cj.pred) && !set.Has(cj.jump) {
+			eng.grow(set, cj.jump)
 			changed = true
 		}
 	}
@@ -88,15 +102,14 @@ func (a *Analysis) condJumpAdaptationOnce(set *bits.Set) bool {
 
 // enforceSwitchEnclosureOnce performs one pass of invariant 2,
 // reporting whether anything was added.
-func (a *Analysis) enforceSwitchEnclosureOnce(set *bits.Set) bool {
+func (a *Analysis) enforceSwitchEnclosureOnce(set *bits.Set, eng depEngine) bool {
 	changed := false
-	for _, n := range a.CFG.Nodes {
-		if !set.Has(n.ID) {
+	for _, id := range a.switchNodes {
+		if !set.Has(id) {
 			continue
 		}
-		sw := a.enclosingSwitch[n.ID]
-		if sw >= 0 && !set.Has(sw) {
-			a.PDG.GrowClosure(set, sw)
+		if sw := a.enclosingSwitch[id]; !set.Has(sw) {
+			eng.grow(set, sw)
 			changed = true
 		}
 	}
@@ -138,7 +151,7 @@ func (a *Analysis) RetargetLabels(set *bits.Set) map[string]int {
 // adaptation and switch enclosure) to baseline algorithms that build
 // their own slice sets.
 func (a *Analysis) NormalizeSlice(set *bits.Set) {
-	a.normalizeSlice(set)
+	a.normalizeSlice(set, a.engine())
 }
 
 // retargetLabels applies the paper's final step: "For each goto
@@ -148,8 +161,8 @@ func (a *Analysis) NormalizeSlice(set *bits.Set) {
 // label lands after the last statement).
 func (a *Analysis) retargetLabels(set *bits.Set) map[string]int {
 	out := map[string]int{}
-	for _, n := range a.CFG.Nodes {
-		if n.Kind != cfg.KindGoto || !set.Has(n.ID) {
+	for _, n := range a.gotoNodes {
+		if !set.Has(n.ID) {
 			continue
 		}
 		label := lang.Unlabel(n.Stmt).(*lang.GotoStmt).Label

@@ -47,13 +47,12 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal-structured",
 		Nodes:     set,
 	}
-	order := a.PDT.Preorder()
+	eng := a.engine()
 	for {
 		s.Traversals++
 		changed := false
-		for _, v := range order {
-			n := a.CFG.Nodes[v]
-			if !n.Kind.IsJump() || set.Has(v) || !a.live[v] {
+		for _, v := range a.jumpsPDT {
+			if set.Has(v) {
 				continue
 			}
 			if !a.directCandidate(v, set) && !a.switchCandidate(v, set) {
@@ -70,7 +69,7 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 			// data dependence the property's argument never mentions)
 			// and widened (switch fall-through) candidates whose
 			// guards are outside the slice.
-			a.addJumpWithClosure(set, v)
+			a.addJumpWithClosure(set, v, eng)
 			s.JumpsAdded = append(s.JumpsAdded, v)
 			changed = true
 		}
@@ -112,6 +111,7 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 	// AgrawalStructured; the on-the-fly reading of the paper's Figure
 	// 13 — detect jumps while the conventional closure grows — has
 	// the same effect).
+	eng := a.engine()
 	for changed := true; changed; {
 		changed = false
 		for _, j := range a.CFG.Jumps() {
@@ -119,7 +119,7 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 				continue
 			}
 			if a.directCandidate(j.ID, set) || a.switchCandidate(j.ID, set) {
-				a.addJumpWithClosure(set, j.ID)
+				a.addJumpWithClosure(set, j.ID, eng)
 				s.JumpsAdded = append(s.JumpsAdded, j.ID)
 				changed = true
 			}

@@ -1,0 +1,551 @@
+// Package exps implements the repository's quantitative experiments
+// (EXPERIMENTS.md, tables E1–E4 and E6) over generated program
+// corpora. cmd/slicebench is a thin flag-and-printing wrapper around
+// this package; keeping the engines importable lets bench_test.go
+// measure them (serial versus parallel) and lets other tools reuse
+// the corpus evaluation harness.
+//
+// Every experiment fans its corpus programs out over a worker pool
+// (Options.Parallel) and reduces per-seed partial results in seed
+// order, so parallel runs produce tables identical to serial ones —
+// all aggregation is integer sums and histogram merges, which are
+// order-independent, and the reduction order is fixed regardless.
+package exps
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"jumpslice/internal/baselines"
+	"jumpslice/internal/core"
+	"jumpslice/internal/dynslice"
+	"jumpslice/internal/interp"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/progen"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seeds is the number of generated programs per corpus.
+	Seeds int
+	// Stmts is the approximate statement count per program.
+	Stmts int
+	// Parallel is the worker pool size for fanning corpus programs
+	// out; values below 1 (and 1) evaluate serially. DefaultParallel
+	// picks the machine's GOMAXPROCS.
+	Parallel int
+}
+
+// DefaultParallel is the worker pool size used when the caller does
+// not choose one: the runtime's GOMAXPROCS.
+func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
+
+// Report bundles every experiment's rows for machine consumption
+// (cmd/slicebench -json). Experiments that were not run are nil.
+type Report struct {
+	Seeds    int            `json:"seeds"`
+	Stmts    int            `json:"stmts"`
+	Parallel int            `json:"parallel"`
+	E1       []PrecisionRow `json:"precision,omitempty"`
+	E2       []SoundnessRow `json:"soundness,omitempty"`
+	E3       []TimingRow    `json:"timing,omitempty"`
+	E4       []TraversalRow `json:"traversals,omitempty"`
+	E6       []DynamicRow   `json:"dynamic,omitempty"`
+}
+
+// PrecisionRow is one E1 table row: mean slice sizes for an
+// algorithm on a corpus.
+type PrecisionRow struct {
+	Algorithm string  `json:"algorithm"`
+	Corpus    string  `json:"corpus"`
+	MeanStmts float64 `json:"mean_stmts"`
+	MeanJumps float64 `json:"mean_jumps"`
+	Cases     int     `json:"cases"`
+}
+
+// SoundnessRow is one E2 table row: how many slices reproduce the
+// original program's criterion observations.
+type SoundnessRow struct {
+	Algorithm string `json:"algorithm"`
+	Corpus    string `json:"corpus"`
+	Sound     int    `json:"sound"`
+	Cases     int    `json:"cases"`
+}
+
+// Rate returns the soundness rate in percent.
+func (r SoundnessRow) Rate() float64 { return 100 * float64(r.Sound) / float64(r.Cases) }
+
+// TraversalRow is one corpus of E4: the histogram of Figure 7
+// traversal counts, as sorted (count, cases) pairs.
+type TraversalRow struct {
+	Corpus string         `json:"corpus"`
+	Counts []TraversalBin `json:"counts"`
+}
+
+// TraversalBin is one histogram bin of a TraversalRow.
+type TraversalBin struct {
+	Traversals int `json:"traversals"`
+	Cases      int `json:"cases"`
+}
+
+// DynamicRow is one E6 table row: dynamic versus static slice size
+// for one corpus and input profile.
+type DynamicRow struct {
+	Corpus       string  `json:"corpus"`
+	Profile      string  `json:"profile"`
+	DynamicStmts float64 `json:"dynamic_stmts"`
+	StaticStmts  float64 `json:"static_stmts"`
+	Cases        int     `json:"cases"`
+}
+
+// TimingRow is one E3 table row: mean wall-clock per slice for an
+// algorithm across program sizes. Cells follow the Sizes order; a
+// negative duration means "not applicable" (structured-only algorithm
+// on an unstructured program).
+type TimingRow struct {
+	Algorithm string          `json:"algorithm"`
+	Cells     []time.Duration `json:"cells_ns"`
+}
+
+// TimingSizes are the program sizes of the E3 sweep.
+var TimingSizes = []int{20, 60, 180, 540}
+
+// AlgoEntry names one slicing algorithm for the sweeps.
+type AlgoEntry struct {
+	Name       string
+	Structured bool // requires a structured program
+	Run        func(a *core.Analysis, c core.Criterion) (*core.Slice, error)
+}
+
+// Algorithms lists the algorithms each experiment sweeps.
+func Algorithms() []AlgoEntry {
+	return []AlgoEntry{
+		{"conventional", false, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Conventional(c) }},
+		{"agrawal (Fig 7)", false, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.Agrawal(c) }},
+		{"structured (Fig 12)", true, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalStructured(c) }},
+		{"conservative (Fig 13)", true, func(a *core.Analysis, c core.Criterion) (*core.Slice, error) { return a.AgrawalConservative(c) }},
+		{"weiser", false, baselines.Weiser},
+		{"ball-horwitz", false, baselines.BallHorwitz},
+		{"lyle", false, baselines.Lyle},
+		{"gallagher", false, baselines.Gallagher},
+		{"jiang-zhou-robson", false, baselines.JiangZhouRobson},
+	}
+}
+
+// CorpusNames lists the generated corpora in table order.
+func CorpusNames() []string { return []string{"structured", "unstructured"} }
+
+// generator returns the program generator of a corpus.
+func generator(corpus string, stmts int) func(int64) *lang.Program {
+	switch corpus {
+	case "structured":
+		return func(s int64) *lang.Program { return progen.Structured(progen.Config{Seed: s, Stmts: stmts}) }
+	case "unstructured":
+		return func(s int64) *lang.Program { return progen.Unstructured(progen.Config{Seed: s, Stmts: stmts}) }
+	}
+	panic("exps: unknown corpus " + corpus)
+}
+
+// seedCase is one generated program with its slicing criteria (the
+// last two write criteria, matching the historical tables).
+type seedCase struct {
+	prog  *lang.Program
+	an    *core.Analysis
+	crits []core.Criterion
+}
+
+// analyzeSeed builds the per-seed case every experiment starts from.
+func analyzeSeed(gen func(int64) *lang.Program, seed int64) (seedCase, error) {
+	p := gen(seed)
+	a, err := core.Analyze(p)
+	if err != nil {
+		return seedCase{}, fmt.Errorf("seed %d: %w", seed, err)
+	}
+	wcs := progen.WriteCriteria(p)
+	if len(wcs) > 2 {
+		wcs = wcs[len(wcs)-2:]
+	}
+	crits := make([]core.Criterion, len(wcs))
+	for i, wc := range wcs {
+		crits[i] = core.Criterion{Var: wc.Var, Line: wc.Line}
+	}
+	return seedCase{prog: p, an: a, crits: crits}, nil
+}
+
+// runSeeds evaluates fn for seeds 0..n-1 over a pool of parallel
+// workers and returns the results in seed order. With parallel <= 1
+// it runs serially. The first error (by seed order, for determinism)
+// aborts the run.
+func runSeeds[T any](n, parallel int, fn func(seed int64) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if parallel <= 1 || n <= 1 {
+		for s := 0; s < n; s++ {
+			r, err := fn(int64(s))
+			if err != nil {
+				return nil, err
+			}
+			out[s] = r
+		}
+		return out, nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				out[s], errs[s] = fn(int64(s))
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Precision computes E1: mean statements and mean jump statements per
+// slice, per algorithm and corpus.
+func Precision(o Options) ([]PrecisionRow, error) {
+	algos := Algorithms()
+	type totals struct{ stmts, jumps, cases int }
+	var rows []PrecisionRow
+	for _, corpus := range CorpusNames() {
+		gen := generator(corpus, o.Stmts)
+		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
+			sc, err := analyzeSeed(gen, seed)
+			if err != nil {
+				return nil, err
+			}
+			per := make([]totals, len(algos))
+			for ai, ae := range algos {
+				if ae.Structured && !sc.an.Structured() {
+					continue
+				}
+				for _, c := range sc.crits {
+					s, err := ae.Run(sc.an, c)
+					if err != nil {
+						if errors.Is(err, core.ErrUnstructured) {
+							continue
+						}
+						return nil, err
+					}
+					per[ai].cases++
+					for _, id := range s.StatementNodes() {
+						per[ai].stmts++
+						if sc.an.CFG.Nodes[id].Kind.IsJump() {
+							per[ai].jumps++
+						}
+					}
+				}
+			}
+			return per, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ai, ae := range algos {
+			var t totals
+			for _, per := range parts {
+				t.stmts += per[ai].stmts
+				t.jumps += per[ai].jumps
+				t.cases += per[ai].cases
+			}
+			if t.cases == 0 {
+				continue
+			}
+			rows = append(rows, PrecisionRow{
+				Algorithm: ae.Name,
+				Corpus:    corpus,
+				MeanStmts: float64(t.stmts) / float64(t.cases),
+				MeanJumps: float64(t.jumps) / float64(t.cases),
+				Cases:     t.cases,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SoundnessInputs are the shared input streams of the E2 check.
+var SoundnessInputs = [][]int64{nil, {1, 2, 3}, {-5, 7, 0, 2, 9, -1}, {8, 8, -8, 8}, {0, 0, 0, 1, 1, 1}}
+
+// equalInt64s reports whether two observation streams are identical.
+// It replaces reflect.DeepEqual in the hot comparison loop; nil and
+// empty are considered equal, matching observation semantics (no
+// output is no output).
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sound checks one slice against the original on the shared inputs.
+func sound(orig *lang.Program, s *core.Slice) (bool, error) {
+	sliced := s.Materialize()
+	for _, in := range SoundnessInputs {
+		want, err := interp.Observe(orig, in, s.Criterion.Var, s.Criterion.Line)
+		if err != nil {
+			return false, err
+		}
+		got, err := interp.Observe(sliced, in, s.Criterion.Var, s.Criterion.Line)
+		if errors.Is(err, interp.ErrStepBudget) {
+			return false, nil // diverging slice: definitely wrong
+		}
+		if err != nil {
+			return false, err
+		}
+		if !equalInt64s(got, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Soundness computes E2: the fraction of criteria whose slice
+// reproduces the original observations.
+func Soundness(o Options) ([]SoundnessRow, error) {
+	algos := Algorithms()
+	type totals struct{ ok, cases int }
+	var rows []SoundnessRow
+	for _, corpus := range CorpusNames() {
+		gen := generator(corpus, o.Stmts)
+		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
+			sc, err := analyzeSeed(gen, seed)
+			if err != nil {
+				return nil, err
+			}
+			per := make([]totals, len(algos))
+			for ai, ae := range algos {
+				if ae.Structured && !sc.an.Structured() {
+					continue
+				}
+				for _, c := range sc.crits {
+					s, err := ae.Run(sc.an, c)
+					if err != nil {
+						if errors.Is(err, core.ErrUnstructured) {
+							continue
+						}
+						return nil, err
+					}
+					good, err := sound(sc.prog, s)
+					if err != nil {
+						return nil, err
+					}
+					per[ai].cases++
+					if good {
+						per[ai].ok++
+					}
+				}
+			}
+			return per, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ai, ae := range algos {
+			var t totals
+			for _, per := range parts {
+				t.ok += per[ai].ok
+				t.cases += per[ai].cases
+			}
+			if t.cases == 0 {
+				continue
+			}
+			rows = append(rows, SoundnessRow{Algorithm: ae.Name, Corpus: corpus, Sound: t.ok, Cases: t.cases})
+		}
+	}
+	return rows, nil
+}
+
+// Traversals computes E4: the distribution of Figure 7 traversal
+// counts per corpus.
+func Traversals(o Options) ([]TraversalRow, error) {
+	var rows []TraversalRow
+	for _, corpus := range CorpusNames() {
+		gen := generator(corpus, o.Stmts)
+		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
+			sc, err := analyzeSeed(gen, seed)
+			if err != nil {
+				return nil, err
+			}
+			hist := map[int]int{}
+			for _, c := range sc.crits {
+				s, err := sc.an.Agrawal(c)
+				if err != nil {
+					return nil, err
+				}
+				hist[s.Traversals]++
+			}
+			return hist, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hist := map[int]int{}
+		for _, h := range parts {
+			for k, v := range h {
+				hist[k] += v
+			}
+		}
+		var keys []int
+		for k := range hist {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		row := TraversalRow{Corpus: corpus}
+		for _, k := range keys {
+			row.Counts = append(row.Counts, TraversalBin{Traversals: k, Cases: hist[k]})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DynamicProfiles are the E6 input profiles, in table order.
+var DynamicProfiles = []struct {
+	Name  string
+	Input []int64
+}{
+	{"empty input", nil},
+	{"short input", []int64{1, -2}},
+	{"mixed input", []int64{3, -1, 4, 0, 5, -9, 2}},
+}
+
+// Dynamic computes E6: dynamic slice size as a fraction of the static
+// (Figure 7) slice, per corpus and input profile.
+func Dynamic(o Options) ([]DynamicRow, error) {
+	var rows []DynamicRow
+	for _, corpus := range CorpusNames() {
+		gen := generator(corpus, o.Stmts)
+		for _, prof := range DynamicProfiles {
+			prof := prof
+			type totals struct{ dyn, stat, cases int }
+			parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (totals, error) {
+				sc, err := analyzeSeed(gen, seed)
+				if err != nil {
+					return totals{}, err
+				}
+				var t totals
+				for _, c := range sc.crits {
+					static, err := sc.an.Agrawal(c)
+					if err != nil {
+						return totals{}, err
+					}
+					dyn, err := dynslice.Slice(sc.an, c, dynslice.Options{Input: prof.Input})
+					if err != nil {
+						return totals{}, err
+					}
+					t.dyn += len(dyn.StatementNodes())
+					t.stat += len(static.StatementNodes())
+					t.cases++
+				}
+				return t, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var t totals
+			for _, p := range parts {
+				t.dyn += p.dyn
+				t.stat += p.stat
+				t.cases += p.cases
+			}
+			rows = append(rows, DynamicRow{
+				Corpus:       corpus,
+				Profile:      prof.Name,
+				DynamicStmts: float64(t.dyn) / float64(t.cases),
+				StaticStmts:  float64(t.stat) / float64(t.cases),
+				Cases:        t.cases,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Timing computes E3: mean wall-clock per slice (analysis excluded)
+// per algorithm and program size, plus a row for the batch engine
+// (SliceAll's marginal per-slice cost with a warm condensation). The
+// (algorithm, size) cells are fanned out over the worker pool; cell
+// identities are deterministic, wall-clock values naturally are not.
+func Timing(o Options) ([]TimingRow, error) {
+	algos := Algorithms()
+	rows := make([]TimingRow, len(algos)+1)
+	type cell struct{ row, col int }
+	var cells []cell
+	for ri := range algos {
+		rows[ri] = TimingRow{Algorithm: algos[ri].Name, Cells: make([]time.Duration, len(TimingSizes))}
+		for ci := range TimingSizes {
+			cells = append(cells, cell{ri, ci})
+		}
+	}
+	batch := len(algos)
+	rows[batch] = TimingRow{Algorithm: "agrawal (batch)", Cells: make([]time.Duration, len(TimingSizes))}
+	for ci := range TimingSizes {
+		cells = append(cells, cell{batch, ci})
+	}
+	const reps = 50
+	_, err := runSeeds(len(cells), o.Parallel, func(i int64) (struct{}, error) {
+		c := cells[i]
+		size := TimingSizes[c.col]
+		p := progen.Structured(progen.Config{Seed: 1, Stmts: size})
+		a, err := core.Analyze(p)
+		if err != nil {
+			return struct{}{}, err
+		}
+		wcs := progen.WriteCriteria(p)
+		crit := core.Criterion{Var: wcs[len(wcs)-1].Var, Line: wcs[len(wcs)-1].Line}
+		if c.row == batch {
+			crits := []core.Criterion{crit}
+			if _, err := a.SliceAll(crits); err != nil { // warm the condensation
+				return struct{}{}, err
+			}
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if _, err := a.SliceAll(crits); err != nil {
+					return struct{}{}, err
+				}
+			}
+			rows[c.row].Cells[c.col] = time.Since(start) / reps
+			return struct{}{}, nil
+		}
+		ae := algos[c.row]
+		if ae.Structured && !a.Structured() {
+			rows[c.row].Cells[c.col] = -1
+			return struct{}{}, nil
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := ae.Run(a, crit); err != nil {
+				return struct{}{}, err
+			}
+		}
+		rows[c.row].Cells[c.col] = time.Since(start) / reps
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

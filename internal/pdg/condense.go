@@ -1,0 +1,215 @@
+package pdg
+
+import (
+	"sync"
+
+	"jumpslice/internal/bits"
+)
+
+// Condensation is the strongly-connected-component condensation of a
+// dependence relation, with memoized per-component backward closures.
+// Nodes in the same dependence cycle always enter a slice together, so
+// the backward closure of any node is fully determined by its
+// component; the condensation is a DAG, which lets closures be
+// computed bottom-up as word-parallel bitset unions and shared across
+// every criterion sliced on the same relation.
+//
+// Components are numbered in dependence-topological order: every
+// component a node depends on has a smaller index than the node's own
+// component (the order Tarjan's algorithm emits them in). That
+// invariant is what makes the lazy closure fill in ensure simple and
+// single-pass.
+type Condensation struct {
+	adj [][]int // the condensed relation: adj[n] = nodes n depends on
+
+	comp  []int   // comp[n] = component index of node n
+	comps [][]int // comps[c] = member nodes of component c, ascending
+	succs [][]int // succs[c] = components c's members depend on (deduped, c excluded)
+
+	mu      sync.Mutex
+	closure []*bits.Set // closure[c] = backward closure of c's members; nil until demanded
+}
+
+// Condensation returns the SCC condensation of the graph's dependence
+// edges, building it on first use and caching it (and its memoized
+// component closures) on the Graph for every later call.
+func (p *Graph) Condensation() *Condensation {
+	p.condOnce.Do(func() { p.cond = Condense(p.deps) })
+	return p.cond
+}
+
+// Condense builds the condensation of an arbitrary dependence
+// relation given as adjacency lists (adj[n] = the nodes n depends
+// on). Callers that need closure under extra, non-PDG invariants —
+// core's conditional-jump adaptation and switch enclosure — encode
+// them as additional edges and condense the augmented relation, which
+// makes every memoized closure satisfy the invariants by
+// construction.
+//
+// The SCC pass is an iterative Tarjan over the relation. The explicit
+// stack keeps deep dependence chains (one per statement in a
+// straight-line program) from overflowing the goroutine stack on
+// large inputs.
+func Condense(adj [][]int) *Condensation {
+	n := len(adj)
+	c := &Condensation{
+		adj:  adj,
+		comp: make([]int, n),
+	}
+	const unvisited = -1
+	index := make([]int, n)   // discovery index, -1 = unvisited
+	lowlink := make([]int, n) // Tarjan lowlink
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		c.comp[i] = unvisited
+	}
+	var stack []int // Tarjan's component stack
+	next := 0       // next discovery index
+
+	// frame is one suspended DFS visit: node v, with edge cursor ei
+	// into adj[v].
+	type frame struct{ v, ei int }
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{root, 0})
+		index[root], lowlink[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			deps := adj[f.v]
+			if f.ei < len(deps) {
+				w := deps[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 && lowlink[v] < lowlink[dfs[len(dfs)-1].v] {
+				lowlink[dfs[len(dfs)-1].v] = lowlink[v]
+			}
+			if lowlink[v] != index[v] {
+				continue
+			}
+			// v is a component root: pop its members.
+			id := len(c.comps)
+			var members []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				c.comp[w] = id
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			// Popped in reverse discovery order; ascending IDs keep
+			// Members and tests deterministic.
+			for i, j := 0, len(members)-1; i < j; i, j = i+1, j-1 {
+				members[i], members[j] = members[j], members[i]
+			}
+			c.comps = append(c.comps, members)
+		}
+	}
+
+	// Condensation edges, deduped with a stamp array. Tarjan's
+	// emission order guarantees every successor index is smaller.
+	c.succs = make([][]int, len(c.comps))
+	stamp := make([]int, len(c.comps))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for cid, members := range c.comps {
+		for _, v := range members {
+			for _, d := range adj[v] {
+				dc := c.comp[d]
+				if dc != cid && stamp[dc] != cid {
+					stamp[dc] = cid
+					c.succs[cid] = append(c.succs[cid], dc)
+				}
+			}
+		}
+	}
+	c.closure = make([]*bits.Set, len(c.comps))
+	return c
+}
+
+// NumComponents returns the number of strongly connected components.
+func (c *Condensation) NumComponents() int { return len(c.comps) }
+
+// Component returns the component index of node n.
+func (c *Condensation) Component(n int) int { return c.comp[n] }
+
+// ClosureOf returns the backward dependence closure of node n — the
+// exact set BackwardClosure([]int{n}) computes — as a memoized bitset.
+// The returned set is shared and must not be modified; union it into a
+// caller-owned set instead. Safe for concurrent use.
+func (c *Condensation) ClosureOf(n int) *bits.Set {
+	c.mu.Lock()
+	s := c.ensure(c.comp[n])
+	c.mu.Unlock()
+	return s
+}
+
+// ensure fills in closure[target] (and, amortized, every component it
+// transitively depends on). Because component indices are topological
+// — dependencies strictly smaller — a single ascending sweep that
+// skips already-built entries is sufficient; across the lifetime of
+// the Condensation each component's closure is built exactly once, so
+// total fill cost is O(components × words) plus the one-off member
+// inserts. Caller holds c.mu.
+func (c *Condensation) ensure(target int) *bits.Set {
+	if s := c.closure[target]; s != nil {
+		return s
+	}
+	n := len(c.comp)
+	for i := 0; i <= target; i++ {
+		if c.closure[i] != nil {
+			continue
+		}
+		s := bits.New(n)
+		for _, v := range c.comps[i] {
+			s.Add(v)
+		}
+		for _, d := range c.succs[i] {
+			s.UnionWith(c.closure[d])
+		}
+		c.closure[i] = s
+	}
+	return c.closure[target]
+}
+
+// BackwardClosure is the condensation-backed equivalent of
+// Graph.BackwardClosure: the union of the memoized component closures
+// of the seeds. Word-parallel, and O(words) per seed once warm.
+func (c *Condensation) BackwardClosure(seeds []int) *bits.Set {
+	out := bits.New(len(c.comp))
+	c.mu.Lock()
+	for _, s := range seeds {
+		out.UnionWith(c.ensure(c.comp[s]))
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// GrowClosure is the condensation-backed equivalent of
+// Graph.GrowClosure: it unions seed's memoized closure into set and
+// reports whether set changed.
+func (c *Condensation) GrowClosure(set *bits.Set, seed int) bool {
+	return set.UnionWith(c.ClosureOf(seed))
+}

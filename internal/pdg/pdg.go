@@ -7,6 +7,7 @@ package pdg
 
 import (
 	"sort"
+	"sync"
 
 	"jumpslice/internal/bits"
 	"jumpslice/internal/cdg"
@@ -21,6 +22,11 @@ type Graph struct {
 
 	dataDeps [][]int // dataDeps[n]: nodes n is data dependent on
 	deps     [][]int // union of data and control deps, sorted
+
+	// cond is the lazily-built SCC condensation with its memoized
+	// component closures; see Condensation.
+	condOnce sync.Once
+	cond     *Condensation
 }
 
 // Build merges control and data dependence. The control dependence

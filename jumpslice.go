@@ -197,6 +197,45 @@ func (s *Slicer) SliceWith(algo Algorithm, variable string, line int) (*Result, 
 	return res, nil
 }
 
+// Criterion names a slicing criterion for the batch API: the value of
+// Var at Line.
+type Criterion struct {
+	Var  string
+	Line int
+}
+
+// SliceAll computes the Figure 7 slice of every criterion in one
+// batch. All criteria share the analysis's SCC-condensed dependence
+// closure cache (built on first use and memoized per component), so
+// slicing many criteria of one program is substantially cheaper than
+// repeated Slice calls — the slices themselves are identical. Results
+// are returned in criterion order.
+func (s *Slicer) SliceAll(crits []Criterion) ([]*Result, error) {
+	cc := make([]core.Criterion, len(crits))
+	for i, c := range crits {
+		cc[i] = core.Criterion{Var: c.Var, Line: c.Line}
+	}
+	slices, err := s.analysis.SliceAll(cc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(slices))
+	for i, sl := range slices {
+		res := &Result{
+			Algorithm:   Agrawal,
+			Lines:       sl.Lines(),
+			Text:        sl.Format(),
+			Traversals:  sl.Traversals,
+			RelabeledTo: sl.RelabeledLines(),
+		}
+		for _, id := range sl.JumpsAdded {
+			res.JumpLines = append(res.JumpLines, s.analysis.CFG.Nodes[id].Line)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // DynamicSlice computes the dynamic slice of (variable, line) for the
 // run on the given input: only statements that actually influenced
 // the criterion on that execution, with the paper's jump repair

@@ -53,6 +53,39 @@ func TestFacadeAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestFacadeSliceAll(t *testing.T) {
+	for _, f := range []*paper.Figure{paper.Fig3(), paper.Fig5(), paper.Fig8()} {
+		s := newSlicer(t, f.Source)
+		crits := []jumpslice.Criterion{
+			{Var: f.Criterion.Var, Line: f.Criterion.Line},
+			{Var: f.Criterion.Var, Line: f.Criterion.Line},
+		}
+		batch, err := s.SliceAll(crits)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if len(batch) != len(crits) {
+			t.Fatalf("%s: got %d results, want %d", f.Name, len(batch), len(crits))
+		}
+		single, err := s.Slice(f.Criterion.Var, f.Criterion.Line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range batch {
+			if !reflect.DeepEqual(res.Lines, single.Lines) {
+				t.Errorf("%s[%d]: batch lines = %v, Slice lines = %v", f.Name, i, res.Lines, single.Lines)
+			}
+			if res.Text != single.Text {
+				t.Errorf("%s[%d]: batch text differs from Slice text", f.Name, i)
+			}
+		}
+	}
+	s := newSlicer(t, paper.Fig3().Source)
+	if _, err := s.SliceAll([]jumpslice.Criterion{{Var: "no_such", Line: 999}}); err == nil {
+		t.Error("SliceAll with a bad criterion should error")
+	}
+}
+
 func TestFacadeStructuredDetection(t *testing.T) {
 	if s := newSlicer(t, paper.Fig5().Source); !s.Structured() {
 		t.Error("Figure 5-a should be structured")
