@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/obs"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: jumpslice
+BenchmarkFigure01-8        	  500000	      2215 ns/op
+BenchmarkSliceAll/independent-agrawal-8 	      20	  52373919 ns/op
+BenchmarkSliceAll/batch-sliceall-8      	      50	  21342614 ns/op
+--- BENCH: BenchmarkSliceAll
+    bench_test.go:221: criteria: 100 over 34 programs
+PASS
+ok  	jumpslice	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Benchmark{
+		{Name: "BenchmarkFigure01", Iters: 500000, NsPerOp: 2215},
+		{Name: "BenchmarkSliceAll/independent-agrawal", Iters: 20, NsPerOp: 52373919},
+		{Name: "BenchmarkSliceAll/batch-sliceall", Iters: 50, NsPerOp: 21342614},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("benchmark %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkRetired", NsPerOp: 5},
+	}
+	pr := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1999}, // within 2x
+		{Name: "BenchmarkB", NsPerOp: 2001}, // beyond 2x
+		{Name: "BenchmarkNew", NsPerOp: 9e9},
+	}
+	regs, compared := Gate(baseline, pr, 2.0)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2 (retired and new benchmarks skipped)", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Errorf("regressions = %+v, want exactly BenchmarkB", regs)
+	}
+}
+
+func TestPhasesOf(t *testing.T) {
+	reg := obs.NewRegistry()
+	sp := reg.StartSpan("phase.analyze")
+	sp.End()
+	reg.Histogram("core.slice_nodes", obs.UnitCount).Observe(12)
+	phases := PhasesOf(reg.Snapshot())
+	if len(phases) != 1 || phases[0].Name != "phase.analyze" || phases[0].Count != 1 {
+		t.Errorf("phases = %+v, want one phase.analyze with count 1", phases)
+	}
+}
+
+// TestEndToEndGate drives the CLI through the three CI steps: build a
+// report, regenerate a baseline from it, gate a slowed-down run.
+func TestEndToEndGate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics snapshot with one phase histogram.
+	reg := obs.NewRegistry()
+	reg.StartSpan("phase.analyze").End()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1: write the baseline (no gate).
+	basePath := filepath.Join(dir, "baseline.json")
+	var sb strings.Builder
+	if err := run([]string{"-bench", benchPath, "-metrics", metricsPath, "-out", basePath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2: same numbers gate cleanly against themselves.
+	prPath := filepath.Join(dir, "pr.json")
+	sb.Reset()
+	if err := run([]string{"-bench", benchPath, "-metrics", metricsPath,
+		"-baseline", basePath, "-out", prPath}, &sb); err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "gate: ok") {
+		t.Errorf("missing gate confirmation:\n%s", sb.String())
+	}
+	var rep Report
+	prData, err := os.ReadFile(prPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(prData, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 || len(rep.Phases) != 1 {
+		t.Errorf("report has %d benchmarks, %d phases; want 3 and 1", len(rep.Benchmarks), len(rep.Phases))
+	}
+
+	// Step 3: a 3x-slower run fails the gate.
+	slow := strings.ReplaceAll(sampleBench, "      2215 ns/op", "      6645 ns/op")
+	slowPath := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"-bench", slowPath, "-baseline", basePath}, &sb)
+	if err == nil {
+		t.Fatalf("3x regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION BenchmarkFigure01") {
+		t.Errorf("missing regression line:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("expected error without -bench")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", empty}, &sb); err == nil {
+		t.Error("expected error for benchless input")
+	}
+}

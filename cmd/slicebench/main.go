@@ -17,6 +17,15 @@
 // computed table as machine-readable JSON, letting the performance
 // trajectory be tracked across commits.
 //
+// Observability flags:
+//
+//	-metrics FILE     write the pipeline metrics snapshot (phase span
+//	                  histograms, traversal/jump counters, closure
+//	                  cache statistics) as JSON; counter values are
+//	                  identical at any -parallel
+//	-cpuprofile FILE  write a runtime/pprof CPU profile of the run
+//	-memprofile FILE  write a heap profile at exit
+//
 // The experiment engines live in internal/exps; this command only
 // parses flags and renders tables.
 package main
@@ -27,8 +36,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"jumpslice/internal/exps"
+	"jumpslice/internal/obs"
 )
 
 func main() {
@@ -45,10 +57,33 @@ func run(args []string, out io.Writer) error {
 	stmts := fs.Int("stmts", 30, "approximate statements per program")
 	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
+	metricsPath := fs.String("metrics", "", "write the pipeline metrics snapshot as JSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The registry is attached whenever any output wants metrics; the
+	// experiments themselves run with the no-op recorder otherwise.
+	var reg *obs.Registry
 	o := exps.Options{Seeds: *seeds, Stmts: *stmts, Parallel: *parallel}
+	if *metricsPath != "" || *jsonPath != "" {
+		reg = obs.NewRegistry()
+		o.Recorder = reg
+	}
 	report := &exps.Report{Seeds: o.Seeds, Stmts: o.Stmts, Parallel: o.Parallel}
 
 	steps := map[string]func() error{
@@ -114,11 +149,35 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if reg != nil {
+		report.Metrics = reg.Snapshot()
+	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, report); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote JSON results to %s\n", *jsonPath)
+	}
+	if *metricsPath != "" {
+		data, err := json.MarshalIndent(report.Metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote metrics snapshot to %s\n", *metricsPath)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"jumpslice/internal/exps"
+	"jumpslice/internal/obs"
 )
 
 func TestPrecisionTable(t *testing.T) {
@@ -123,5 +125,75 @@ func TestDynamicTable(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "E6:") || !strings.Contains(sb.String(), "dynamic") {
 		t.Errorf("dynamic table malformed:\n%s", sb.String())
+	}
+}
+
+// TestMetricsParallelDeterminism is the observability determinism
+// guarantee: with a recorder attached, the tables and the metrics
+// snapshot are byte-identical at any parallelism — counters and
+// histogram observation counts are commutative atomic sums reduced in
+// a fixed order. Only the wall-clock *content* of the nanosecond span
+// histograms (sum, bucket placement) legitimately varies run to run;
+// Scrub removes exactly that before comparing.
+func TestMetricsParallelDeterminism(t *testing.T) {
+	runOnce := func(parallel string) (table string, metrics []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "metrics.json")
+		var sb strings.Builder
+		err := run([]string{"-exp", "precision", "-seeds", "8", "-stmts", "20",
+			"-parallel", parallel, "-metrics", path}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("metrics JSON does not parse: %v", err)
+		}
+		scrubbed, err := json.Marshal(snap.Scrub())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The table includes the metrics path, which differs per run;
+		// strip the confirmation trailer before comparing.
+		table = strings.Split(sb.String(), "\nwrote metrics snapshot")[0]
+		return table, scrubbed
+	}
+
+	tableSerial, metricsSerial := runOnce("1")
+	tableParallel, metricsParallel := runOnce("8")
+	if tableSerial != tableParallel {
+		t.Errorf("tables differ across parallelism:\n--- -parallel 1 ---\n%s\n--- -parallel 8 ---\n%s",
+			tableSerial, tableParallel)
+	}
+	if !bytes.Equal(metricsSerial, metricsParallel) {
+		t.Errorf("scrubbed metrics differ across parallelism:\n--- -parallel 1 ---\n%s\n--- -parallel 8 ---\n%s",
+			metricsSerial, metricsParallel)
+	}
+}
+
+// TestProfileFlags smoke-tests -cpuprofile and -memprofile: both
+// files must exist and be non-empty after a run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var sb strings.Builder
+	err := run([]string{"-exp", "traversals", "-seeds", "3", "-stmts", "15",
+		"-cpuprofile", cpu, "-memprofile", mem}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

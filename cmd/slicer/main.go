@@ -33,6 +33,9 @@
 //	-graph KIND    a Graphviz DOT rendering (cfg, pdt, lst, cdg, ddg,
 //	               pdg) with the slice's nodes highlighted
 //	-stats         traversal counts, jumps added, retargeted labels
+//	-explain       each slice line annotated with its provenance
+//	               records: criterion, data-dep from N, control-dep
+//	               from N, jump-rule(nearest-PD=P, nearest-LS=L), ...
 package main
 
 import (
@@ -67,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	lines := fs.Bool("lines", false, "print only the slice's line numbers")
 	graph := fs.String("graph", "", "emit a DOT graph instead: cfg|pdt|lst|cdg|ddg|pdg")
 	stats := fs.Bool("stats", false, "print traversal and jump statistics")
+	explain := fs.Bool("explain", false, "annotate each slice line with its provenance records")
 	input := fs.String("input", "", "comma-separated input stream for -algo dynamic, e.g. \"3,-1,4\"")
 	flatten := fs.Bool("flatten", false, "print the Choi–Ferrante executable slice (flat, synthesized gotos)")
 	restructureFlag := fs.Bool("restructure", false, "print the program restructured into goto-free pc-loop form (no slicing)")
@@ -161,20 +165,38 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *explain {
+		p, err := s.Explain()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "// %s slice with respect to %s, annotated with provenance\n", s.Algorithm, c)
+		fmt.Fprint(out, p.Listing())
+		if *stats {
+			printStats(out, s)
+		}
+		return nil
+	}
+
 	fmt.Fprintf(out, "// %s slice with respect to %s\n", s.Algorithm, c)
 	fmt.Fprint(out, s.Format())
 	if *stats {
-		fmt.Fprintf(out, "\n// traversals: %d\n", s.Traversals)
-		fmt.Fprintf(out, "// jumps added beyond conventional: %d\n", len(s.JumpsAdded))
-		for label, l := range s.RelabeledLines() {
-			if l == 0 {
-				fmt.Fprintf(out, "// label %s re-attached past the last statement\n", label)
-			} else {
-				fmt.Fprintf(out, "// label %s re-attached to line %d\n", label, l)
-			}
-		}
+		printStats(out, s)
 	}
 	return nil
+}
+
+// printStats prints the -stats trailer.
+func printStats(out io.Writer, s *core.Slice) {
+	fmt.Fprintf(out, "\n// traversals: %d\n", s.Traversals)
+	fmt.Fprintf(out, "// jumps added beyond conventional: %d\n", len(s.JumpsAdded))
+	for label, l := range s.RelabeledLines() {
+		if l == 0 {
+			fmt.Fprintf(out, "// label %s re-attached past the last statement\n", label)
+		} else {
+			fmt.Fprintf(out, "// label %s re-attached to line %d\n", label, l)
+		}
+	}
 }
 
 // runAlgo dispatches the algorithm by name.

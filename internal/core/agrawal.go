@@ -42,12 +42,13 @@ func (a *Analysis) agrawalWith(c Criterion, eng depEngine) (*Slice, error) {
 		Algorithm: "agrawal",
 		Nodes:     set,
 	}
-	jumps, traversals, err := a.repairJumps(set, a.jumpsPDT, eng)
+	jumps, rules, traversals, err := a.repairJumps(set, a.jumpsPDT, eng)
 	if err != nil {
 		return nil, err
 	}
-	s.JumpsAdded, s.Traversals = jumps, traversals
+	s.JumpsAdded, s.JumpRules, s.Traversals = jumps, rules, traversals
 	s.Relabeled = a.retargetLabels(set)
+	a.recordSlice(set)
 	return s, nil
 }
 
@@ -56,14 +57,15 @@ func (a *Analysis) agrawalWith(c Criterion, eng depEngine) (*Slice, error) {
 // traversals of the postdominator tree add every live jump whose
 // nearest postdominator in the set differs from its nearest lexical
 // successor in the set, together with the closure of its dependences,
-// until a fixpoint. It returns the jumps added (in discovery order)
-// and the number of traversals performed (counting the final empty
-// one).
+// until a fixpoint. It returns the jumps added (in discovery order),
+// the rule evidence observed at each admission (parallel to
+// jumpsAdded), and the number of traversals performed (counting the
+// final empty one).
 //
 // Beyond serving Agrawal, this is the building block for slicing
 // variants that compute their base set differently — the dynamic
 // slicer (internal/dynslice) repairs a dynamic statement set with it.
-func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, traversals int, err error) {
+func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, rules []JumpRule, traversals int, err error) {
 	return a.repairJumps(set, a.jumpsPDT, a.engine())
 }
 
@@ -73,29 +75,35 @@ func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, traversals int,
 // touches only jump nodes; non-jumps were never acted on, so the
 // additions — and the reported traversal count — are identical to a
 // full-preorder scan.
-func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (jumpsAdded []int, traversals int, err error) {
+func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (jumpsAdded []int, rules []JumpRule, traversals int, err error) {
 	for {
 		traversals++
+		a.m.traversals.Add(1)
 		changed := false
 		for _, v := range worklist {
 			if set.Has(v) {
 				continue
 			}
-			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
+			a.m.jumpsExamined.Add(1)
+			pd := a.nearestPostdomInSlice(v, set)
+			ls := a.nearestLexInSlice(v, set)
+			if pd == ls {
 				continue
 			}
 			a.addJumpWithClosure(set, v, eng)
 			jumpsAdded = append(jumpsAdded, v)
+			rules = append(rules, JumpRule{NearestPD: pd, NearestLS: ls})
+			a.m.jumpsAdmitted.Add(1)
 			changed = true
 		}
 		if !changed {
-			return jumpsAdded, traversals, nil
+			return jumpsAdded, rules, traversals, nil
 		}
 		if traversals > len(a.CFG.Nodes)+1 {
 			// Each productive traversal adds at least one jump, so
 			// traversal count is bounded by the jump count; this guard
 			// only trips on an implementation bug.
-			return nil, traversals, fmt.Errorf("core: Figure 7 loop failed to converge after %d traversals", traversals)
+			return nil, nil, traversals, fmt.Errorf("core: Figure 7 loop failed to converge after %d traversals", traversals)
 		}
 	}
 }
@@ -117,13 +125,24 @@ func (a *Analysis) AgrawalLST(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal-lst",
 		Nodes:     set,
 	}
-	jumps, traversals, err := a.repairJumps(set, a.jumpsLST, a.engine())
+	jumps, rules, traversals, err := a.repairJumps(set, a.jumpsLST, a.engine())
 	if err != nil {
 		return nil, fmt.Errorf("core: LST-driven algorithm: %w", err)
 	}
-	s.JumpsAdded, s.Traversals = jumps, traversals
+	s.JumpsAdded, s.JumpRules, s.Traversals = jumps, rules, traversals
 	s.Relabeled = a.retargetLabels(set)
+	a.recordSlice(set)
 	return s, nil
+}
+
+// recordSlice reports a finished slice to the recorder: one slice
+// counted, its final node count observed. A single nil-check each
+// when recording is disabled.
+func (a *Analysis) recordSlice(set *bits.Set) {
+	a.m.slices.Add(1)
+	if a.m.sliceNodes != nil {
+		a.m.sliceNodes.Observe(int64(set.Len()))
+	}
 }
 
 // addJumpWithClosure adds jump node v to the slice together with the

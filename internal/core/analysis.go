@@ -39,6 +39,7 @@ import (
 	"jumpslice/internal/dom"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/lst"
+	"jumpslice/internal/obs"
 	"jumpslice/internal/pdg"
 )
 
@@ -119,6 +120,42 @@ type Analysis struct {
 	// augmented dependence relation backing SliceAll; see batchEngine.
 	batchOnce sync.Once
 	batchCond *pdg.Condensation
+
+	// rec is the observability recorder every slicing call reports to
+	// (obs.Nop unless AnalyzeRecorded attached a collecting one), and
+	// m holds the pre-resolved instruments so hot paths pay a single
+	// nil-check per event when recording is disabled.
+	rec obs.Recorder
+	m   coreMetrics
+}
+
+// coreMetrics is the Analysis's pre-resolved instrument set. All
+// fields are nil under obs.Nop; every obs instrument method is
+// nil-safe.
+type coreMetrics struct {
+	// slices counts slicing calls (any algorithm in this package).
+	slices *obs.Counter
+	// traversals counts fixpoint passes of the jump-detection loops
+	// (Figures 7, 12 and 13), including each final unproductive one.
+	traversals *obs.Counter
+	// jumpsExamined counts candidate jumps tested by the nearest-
+	// postdominator/lexical-successor rule; jumpsAdmitted counts the
+	// tests that admitted the jump into the slice.
+	jumpsExamined *obs.Counter
+	jumpsAdmitted *obs.Counter
+	// sliceNodes is the distribution of final slice sizes (node
+	// count, Entry included) — the closure-size visibility the batch
+	// engine's memoization is judged by.
+	sliceNodes *obs.Histogram
+}
+
+// resolve pre-resolves the Analysis's instruments from its recorder.
+func (m *coreMetrics) resolve(rec obs.Recorder) {
+	m.slices = rec.Counter("core.slices")
+	m.traversals = rec.Counter("core.fixpoint_traversals")
+	m.jumpsExamined = rec.Counter("core.jumps_examined")
+	m.jumpsAdmitted = rec.Counter("core.jumps_admitted")
+	m.sliceNodes = rec.Histogram("core.slice_nodes", obs.UnitCount)
 }
 
 // condJumpPair records a conditional jump statement: the predicate
@@ -129,24 +166,53 @@ type condJumpPair struct {
 
 // Analyze parses nothing: it takes an already-parsed program and
 // derives the flowgraph, postdominator tree, dependence graphs, and
-// lexical successor tree.
+// lexical successor tree. Equivalent to AnalyzeRecorded with the
+// no-op recorder.
 func Analyze(prog *lang.Program) (*Analysis, error) {
+	return AnalyzeRecorded(prog, obs.Nop)
+}
+
+// AnalyzeRecorded is Analyze with an observability recorder attached:
+// each construction phase is timed under a "phase.analyze.*" span
+// (cfg → postdominators → cdg → dataflow → pdg → lst → worklists;
+// the batch condensation, built lazily, reports under
+// "phase.analyze.condense"), and every slicing call on the returned
+// Analysis reports its fixpoint traversals, jump examinations and
+// slice sizes to the same recorder. A nil recorder means obs.Nop.
+func AnalyzeRecorded(prog *lang.Program, rec obs.Recorder) (*Analysis, error) {
+	rec = obs.OrNop(rec)
+	total := rec.StartSpan("phase.analyze")
+	sp := rec.StartSpan("phase.analyze.cfg")
 	g, err := cfg.Build(prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = rec.StartSpan("phase.analyze.postdominators")
 	pdt := dom.PostDominators(g, g.Exit.ID)
+	sp.End()
+	sp = rec.StartSpan("phase.analyze.cdg")
 	cd := cdg.Build(g, pdt)
+	sp.End()
+	sp = rec.StartSpan("phase.analyze.dataflow")
 	rd := dataflow.Reach(g)
+	sp.End()
 	a := &Analysis{
 		Prog: prog,
 		CFG:  g,
 		PDT:  pdt,
 		CDG:  cd,
 		RD:   rd,
-		PDG:  pdg.Build(g, cd, rd),
-		LST:  lst.Build(g),
+		rec:  rec,
 	}
+	a.m.resolve(rec)
+	sp = rec.StartSpan("phase.analyze.pdg")
+	a.PDG = pdg.Build(g, cd, rd)
+	sp.End()
+	sp = rec.StartSpan("phase.analyze.lst")
+	a.LST = lst.Build(g)
+	sp.End()
+	sp = rec.StartSpan("phase.analyze.worklists")
 	a.live = make([]bool, len(g.Nodes))
 	for id := range g.Reachable() {
 		a.live[id] = true
@@ -206,8 +272,14 @@ func Analyze(prog *lang.Program) (*Analysis, error) {
 			a.switchNodes = append(a.switchNodes, id)
 		}
 	}
+	sp.End()
+	total.End()
 	return a, nil
 }
+
+// Recorder returns the observability recorder attached at analysis
+// time (obs.Nop when none was).
+func (a *Analysis) Recorder() obs.Recorder { return a.rec }
 
 // filterLiveJumps projects a tree preorder onto the live jump nodes,
 // preserving order — the only nodes the Figure 7 traversals act on.
@@ -269,11 +341,28 @@ type Slice struct {
 	// JumpsAdded lists the node IDs of jump statements the jump-aware
 	// phase added beyond the conventional slice, in addition order.
 	JumpsAdded []int
+	// JumpRules records, parallel to JumpsAdded, the evidence the
+	// nearest-postdominator/lexical-successor rule saw at the moment
+	// each jump was admitted (Figures 7 and 12; empty for algorithms
+	// that admit jumps without the rule, e.g. Figure 13). Captured at
+	// admission time because the final slice can shift both trees'
+	// nearest-in-slice answers — the paper's Figure 3 rejection of
+	// node 11 happens exactly because an earlier admission moved them.
+	JumpRules []JumpRule
 	// Relabeled maps goto labels whose labeled statement is not in the
 	// slice to the node ID the label is re-attached to (the labeled
 	// statement's nearest postdominator in the slice; Exit means "end
 	// of program").
 	Relabeled map[string]int
+}
+
+// JumpRule is the admission evidence of one jump added by the paper's
+// rule: the jump's nearest postdominator in the slice and nearest
+// lexical successor in the slice differed when it was examined. Node
+// IDs; either may be the Exit node ("end of program").
+type JumpRule struct {
+	NearestPD int
+	NearestLS int
 }
 
 // Has reports whether the flowgraph node with the given ID is in the

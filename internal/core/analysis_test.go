@@ -113,15 +113,23 @@ func TestRepairJumpsOnHandBuiltSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	added, traversals, err := a.RepairJumps(seed.Nodes)
+	added, rules, traversals, err := a.RepairJumps(seed.Nodes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if traversals < 1 {
 		t.Errorf("traversals = %d", traversals)
 	}
+	if len(rules) != len(added) {
+		t.Errorf("rules = %d entries, want %d (parallel to added)", len(rules), len(added))
+	}
+	for i, r := range rules {
+		if r.NearestPD == r.NearestLS {
+			t.Errorf("rule %d: nearest-PD == nearest-LS (%d); the rule cannot have fired", i, r.NearestPD)
+		}
+	}
 	// Idempotence: repairing an already-repaired set adds nothing.
-	added2, _, err := a.RepairJumps(seed.Nodes)
+	added2, _, _, err := a.RepairJumps(seed.Nodes)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,12 @@ import (
 // Ottenstein PDG slice and is correct; on programs with jumps it is
 // the baseline the paper's Figures 3-b and 5-b show to be wrong.
 func (a *Analysis) Conventional(c Criterion) (*Slice, error) {
-	return a.conventionalWith(c, a.engine())
+	s, err := a.conventionalWith(c, a.engine())
+	if err != nil {
+		return nil, err
+	}
+	a.recordSlice(s.Nodes)
+	return s, nil
 }
 
 // conventionalWith is Conventional parameterized by the closure

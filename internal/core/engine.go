@@ -59,6 +59,8 @@ func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG} }
 // skips the normalization passes entirely.
 func (a *Analysis) batchEngine() depEngine {
 	a.batchOnce.Do(func() {
+		sp := a.rec.StartSpan("phase.analyze.condense")
+		defer sp.End()
 		n := a.CFG.NumNodes()
 		aug := make([][]int, n)
 		extra := make(map[int][]int, len(a.condJumps)+len(a.switchNodes))
@@ -80,6 +82,10 @@ func (a *Analysis) batchEngine() depEngine {
 			}
 		}
 		a.batchCond = pdg.Condense(aug)
+		a.batchCond.Instrument(
+			a.rec.Counter("pdg.closure_requests"),
+			a.rec.Counter("pdg.closure_hits"),
+			a.rec.Counter("pdg.closure_builds"))
 	})
 	return condEngine{a.batchCond}
 }

@@ -36,7 +36,8 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 	if !a.Structured() {
 		return nil, fmt.Errorf("core: Figure 12 algorithm: %w", ErrUnstructured)
 	}
-	conv, err := a.Conventional(c)
+	eng := a.engine()
+	conv, err := a.conventionalWith(c, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -47,9 +48,9 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal-structured",
 		Nodes:     set,
 	}
-	eng := a.engine()
 	for {
 		s.Traversals++
+		a.m.traversals.Add(1)
 		changed := false
 		for _, v := range a.jumpsPDT {
 			if set.Has(v) {
@@ -58,7 +59,10 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 			if !a.directCandidate(v, set) && !a.switchCandidate(v, set) {
 				continue
 			}
-			if a.nearestPostdomInSlice(v, set) == a.nearestLexInSlice(v, set) {
+			a.m.jumpsExamined.Add(1)
+			pd := a.nearestPostdomInSlice(v, set)
+			ls := a.nearestLexInSlice(v, set)
+			if pd == ls {
 				continue
 			}
 			// Paper, Section 4 property 2: a condition-(i) jump's
@@ -71,6 +75,8 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 			// guards are outside the slice.
 			a.addJumpWithClosure(set, v, eng)
 			s.JumpsAdded = append(s.JumpsAdded, v)
+			s.JumpRules = append(s.JumpRules, JumpRule{NearestPD: pd, NearestLS: ls})
+			a.m.jumpsAdmitted.Add(1)
 			changed = true
 		}
 		if !changed {
@@ -81,6 +87,7 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 		}
 	}
 	s.Relabeled = a.retargetLabels(set)
+	a.recordSlice(set)
 	return s, nil
 }
 
@@ -95,7 +102,8 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 	if !a.Structured() {
 		return nil, fmt.Errorf("core: Figure 13 algorithm: %w", ErrUnstructured)
 	}
-	conv, err := a.Conventional(c)
+	eng := a.engine()
+	conv, err := a.conventionalWith(c, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -111,21 +119,24 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 	// AgrawalStructured; the on-the-fly reading of the paper's Figure
 	// 13 — detect jumps while the conventional closure grows — has
 	// the same effect).
-	eng := a.engine()
 	for changed := true; changed; {
 		changed = false
+		a.m.traversals.Add(1)
 		for _, j := range a.CFG.Jumps() {
 			if set.Has(j.ID) || !a.live[j.ID] {
 				continue
 			}
+			a.m.jumpsExamined.Add(1)
 			if a.directCandidate(j.ID, set) || a.switchCandidate(j.ID, set) {
 				a.addJumpWithClosure(set, j.ID, eng)
 				s.JumpsAdded = append(s.JumpsAdded, j.ID)
+				a.m.jumpsAdmitted.Add(1)
 				changed = true
 			}
 		}
 	}
 	s.Relabeled = a.retargetLabels(set)
+	a.recordSlice(set)
 	return s, nil
 }
 

@@ -186,7 +186,7 @@ func Slice(a *core.Analysis, c core.Criterion, opts Options) (*core.Slice, error
 func finish(a *core.Analysis, c core.Criterion, set *bits.Set) (*core.Slice, error) {
 	set.Add(a.CFG.Entry.ID)
 	a.NormalizeSlice(set)
-	jumps, traversals, err := a.RepairJumps(set)
+	jumps, rules, traversals, err := a.RepairJumps(set)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +196,7 @@ func finish(a *core.Analysis, c core.Criterion, set *bits.Set) (*core.Slice, err
 		Algorithm:  "dynamic",
 		Nodes:      set,
 		JumpsAdded: jumps,
+		JumpRules:  rules,
 		Traversals: traversals,
 		Relabeled:  a.RetargetLabels(set),
 	}, nil

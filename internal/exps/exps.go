@@ -25,6 +25,7 @@ import (
 	"jumpslice/internal/dynslice"
 	"jumpslice/internal/interp"
 	"jumpslice/internal/lang"
+	"jumpslice/internal/obs"
 	"jumpslice/internal/progen"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// out; values below 1 (and 1) evaluate serially. DefaultParallel
 	// picks the machine's GOMAXPROCS.
 	Parallel int
+	// Recorder, when non-nil, collects pipeline metrics across every
+	// seed of the run: per-phase analysis spans, fixpoint traversal
+	// counts, jump admissions, closure cache hits. All workers share
+	// it — the instruments are atomic, and sums commute, so the
+	// counter state is identical at any Parallel.
+	Recorder obs.Recorder
 }
 
 // DefaultParallel is the worker pool size used when the caller does
@@ -55,6 +62,10 @@ type Report struct {
 	E3       []TimingRow    `json:"timing,omitempty"`
 	E4       []TraversalRow `json:"traversals,omitempty"`
 	E6       []DynamicRow   `json:"dynamic,omitempty"`
+	// Metrics is the recorder snapshot taken after the run, when the
+	// caller attached an Options.Recorder: phase timings, traversal
+	// and jump counters, closure cache statistics.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // PrecisionRow is one E1 table row: mean slice sizes for an
@@ -158,10 +169,11 @@ type seedCase struct {
 	crits []core.Criterion
 }
 
-// analyzeSeed builds the per-seed case every experiment starts from.
-func analyzeSeed(gen func(int64) *lang.Program, seed int64) (seedCase, error) {
+// analyzeSeed builds the per-seed case every experiment starts from,
+// recording the analysis phases on rec (nil for none).
+func analyzeSeed(gen func(int64) *lang.Program, seed int64, rec obs.Recorder) (seedCase, error) {
 	p := gen(seed)
-	a, err := core.Analyze(p)
+	a, err := core.AnalyzeRecorded(p, rec)
 	if err != nil {
 		return seedCase{}, fmt.Errorf("seed %d: %w", seed, err)
 	}
@@ -229,7 +241,7 @@ func Precision(o Options) ([]PrecisionRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed)
+			sc, err := analyzeSeed(gen, seed, o.Recorder)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +344,7 @@ func Soundness(o Options) ([]SoundnessRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed)
+			sc, err := analyzeSeed(gen, seed, o.Recorder)
 			if err != nil {
 				return nil, err
 			}
@@ -386,7 +398,7 @@ func Traversals(o Options) ([]TraversalRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
-			sc, err := analyzeSeed(gen, seed)
+			sc, err := analyzeSeed(gen, seed, o.Recorder)
 			if err != nil {
 				return nil, err
 			}
@@ -443,7 +455,7 @@ func Dynamic(o Options) ([]DynamicRow, error) {
 			prof := prof
 			type totals struct{ dyn, stat, cases int }
 			parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (totals, error) {
-				sc, err := analyzeSeed(gen, seed)
+				sc, err := analyzeSeed(gen, seed, o.Recorder)
 				if err != nil {
 					return totals{}, err
 				}
@@ -510,7 +522,7 @@ func Timing(o Options) ([]TimingRow, error) {
 		c := cells[i]
 		size := TimingSizes[c.col]
 		p := progen.Structured(progen.Config{Seed: 1, Stmts: size})
-		a, err := core.Analyze(p)
+		a, err := core.AnalyzeRecorded(p, o.Recorder)
 		if err != nil {
 			return struct{}{}, err
 		}

@@ -1,0 +1,302 @@
+// Package obs is the repository's dependency-free observability core:
+// atomic counters, fixed-bucket histograms, and a Span phase timer,
+// collected behind a pluggable Recorder.
+//
+// The design optimizes for the disabled case. Nop is the default
+// Recorder: it hands out nil *Counter / nil *Histogram and zero Spans,
+// and every instrument method is nil-safe — so a hot path that was
+// instrumented with a pre-resolved counter pays exactly one nil-check
+// per event when recording is off, no interface call, no allocation,
+// no time.Now. Instrumented packages resolve their instruments once
+// (at Analysis construction, say) and hold the pointers:
+//
+//	examined := rec.Counter("core.jumps_examined") // nil under Nop
+//	...
+//	examined.Add(1) // one predictable branch when disabled
+//
+// Registry is the collecting implementation. All instruments are safe
+// for concurrent use (atomics; the name→instrument maps take a mutex
+// only at resolution time), so one Registry can be shared across a
+// worker pool and its totals are independent of scheduling order —
+// counter sums and histogram merges commute. Snapshot renders the
+// state deterministically (instruments sorted by name) for JSON dumps
+// and cross-run comparison.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Unit tags what a histogram's observed values measure, so consumers
+// of a Snapshot can tell wall-clock instruments (nondeterministic
+// across runs) from structural ones (deterministic).
+type Unit string
+
+const (
+	// UnitNanoseconds marks duration histograms (Span targets).
+	UnitNanoseconds Unit = "ns"
+	// UnitCount marks size/count histograms (closure sizes, etc.).
+	UnitCount Unit = "count"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil
+// counter is a valid no-op: Add and Value on nil cost one nil-check.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// numBuckets is the fixed bucket count of every histogram: power-of-
+// two buckets covering 1..2^46 (for nanoseconds, ~20 hours; for
+// counts, far beyond any node set), plus bucket 0 for values <= 0 and
+// a final overflow bucket.
+const numBuckets = 48
+
+// Histogram is a fixed-bucket histogram over int64 observations with
+// power-of-two bucket boundaries: bucket 0 counts values <= 0, bucket
+// i >= 1 counts values v with 2^(i-1) <= v < 2^i, and the last bucket
+// absorbs everything larger. Fixed buckets mean Observe is two atomic
+// adds and no allocation, and merging across recorders is element-wise
+// addition. The nil histogram is a valid no-op.
+type Histogram struct {
+	unit    Unit
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // 2^(b-1) <= v < 2^b
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Span times one phase. Obtain it from Recorder.StartSpan and call
+// End when the phase finishes; the elapsed nanoseconds are recorded
+// into the named duration histogram. The zero Span (what Nop hands
+// out) is a no-op whose End neither reads the clock nor records.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End stops the span, records its duration, and returns it. On a
+// no-op span it returns 0 without touching the clock.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(int64(d))
+	return d
+}
+
+// Recorder hands out named instruments. Implementations: *Registry
+// (collecting) and Nop (disabled; returns nil instruments and zero
+// Spans, which every instrument method accepts).
+type Recorder interface {
+	// Counter returns the named counter, creating it on first use.
+	Counter(name string) *Counter
+	// Histogram returns the named histogram with the given unit,
+	// creating it on first use. The unit is fixed at creation.
+	Histogram(name string, unit Unit) *Histogram
+	// StartSpan starts a phase timer whose End records elapsed
+	// nanoseconds into the duration histogram of the same name.
+	StartSpan(name string) Span
+}
+
+// Nop is the default Recorder: records nothing, allocates nothing.
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Counter(string) *Counter           { return nil }
+func (nopRecorder) Histogram(string, Unit) *Histogram { return nil }
+func (nopRecorder) StartSpan(string) Span             { return Span{} }
+
+// OrNop returns r, or Nop when r is nil — the normalization every
+// instrumented constructor applies to its recorder argument.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Registry is the collecting Recorder. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty collecting Recorder.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// unit on first use (later units are ignored; the first wins).
+func (r *Registry) Histogram(name string, unit Unit) *Histogram {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{unit: unit}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// StartSpan starts a phase timer recording into the duration
+// histogram named name.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{h: r.Histogram(name, UnitNanoseconds), start: time.Now()}
+}
+
+// CounterSnapshot is one counter's state in a Snapshot.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one nonzero histogram bucket: Le is the bucket's
+// inclusive upper bound (0 for the <= 0 bucket, 2^i - 1 otherwise).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot. For
+// UnitNanoseconds histograms Sum and Buckets carry wall-clock values
+// and are nondeterministic across runs; Count is structural.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Unit    Unit     `json:"unit"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, deterministically ordered copy of a
+// Registry's state, ready for JSON encoding.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// upperBound returns bucket i's inclusive upper bound.
+func upperBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Snapshot copies the registry's current state, instruments sorted by
+// name so equal states encode to equal bytes.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make([]CounterSnapshot, 0, len(r.counters)),
+		Histograms: make([]HistogramSnapshot, 0, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Name: name, Unit: h.unit, Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := 0; i < numBuckets; i++ {
+			if n := h.buckets[i].Load(); n != 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Le: upperBound(i), Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Scrub zeroes the wall-clock content of every UnitNanoseconds
+// histogram in place — Sum and per-bucket placements — while keeping
+// the structural observation Count. Two runs of the same deterministic
+// workload produce byte-identical scrubbed snapshots at any
+// parallelism; cmd/slicebench's determinism test relies on this.
+func (s *Snapshot) Scrub() *Snapshot {
+	for i := range s.Histograms {
+		if s.Histograms[i].Unit == UnitNanoseconds {
+			s.Histograms[i].Sum = 0
+			s.Histograms[i].Buckets = nil
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("nil histogram count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if d := (Span{}).End(); d != 0 {
+		t.Errorf("zero span End = %v", d)
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	if Nop.Counter("x") != nil {
+		t.Error("Nop.Counter != nil")
+	}
+	if Nop.Histogram("x", UnitCount) != nil {
+		t.Error("Nop.Histogram != nil")
+	}
+	if sp := Nop.StartSpan("x"); sp.h != nil || !sp.start.IsZero() {
+		t.Error("Nop.StartSpan not zero")
+	}
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	r := NewRegistry()
+	if OrNop(r) != Recorder(r) {
+		t.Error("OrNop(r) != r")
+	}
+}
+
+func TestCounterAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(3)
+	r.Counter("a").Add(4)
+	if got := r.Counter("a").Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	h := r.Histogram("sizes", UnitCount)
+	for _, v := range []int64{0, 1, 2, 3, 4, 1 << 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	// 0 → bucket le=0; 1 → le=1; 2,3 → le=3; 4 → le=7; 1<<50 → overflow.
+	wantBuckets := map[int64]int64{0: 1, 1: 1, 3: 2, 7: 1, 1<<47 - 1: 1}
+	for _, b := range snap.Histograms[0].Buckets {
+		if wantBuckets[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, wantBuckets[b.Le])
+		}
+		delete(wantBuckets, b.Le)
+	}
+	if len(wantBuckets) != 0 {
+		t.Errorf("missing buckets: %v", wantBuckets)
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("phase.x")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	h := r.Histogram("phase.x", UnitNanoseconds)
+	if h.Count() != 1 || h.Sum() < int64(time.Millisecond) {
+		t.Errorf("span histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotDeterministicOrderAndScrub(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(1)
+		}
+		r.Histogram("z.sizes", UnitCount).Observe(9)
+		sp := r.StartSpan("a.phase")
+		sp.End()
+		data, err := json.Marshal(r.Snapshot().Scrub())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := build([]string{"b", "a", "c"})
+	b := build([]string{"c", "b", "a"})
+	if string(a) != string(b) {
+		t.Errorf("snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Add(1)
+				r.Histogram("h", UnitCount).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", UnitCount).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"jumpslice/internal/bits"
+	"jumpslice/internal/obs"
 )
 
 // Condensation is the strongly-connected-component condensation of a
@@ -28,6 +29,12 @@ type Condensation struct {
 
 	mu      sync.Mutex
 	closure []*bits.Set // closure[c] = backward closure of c's members; nil until demanded
+
+	// Cache instrumentation (nil-safe; see Instrument). A request is
+	// one closure lookup (ClosureOf / a BackwardClosure seed); a hit
+	// is a request answered from an already-memoized component
+	// closure; a build is one component closure being materialized.
+	requests, hits, builds *obs.Counter
 }
 
 // Condensation returns the SCC condensation of the graph's dependence
@@ -149,6 +156,15 @@ func Condense(adj [][]int) *Condensation {
 	return c
 }
 
+// Instrument attaches cache counters (any may be nil, and the
+// counters of obs.Nop are): requests counts closure lookups, hits the
+// lookups answered from a memoized component closure, and builds the
+// component closures materialized. Call it before the condensation is
+// shared across goroutines; the counters themselves are atomic.
+func (c *Condensation) Instrument(requests, hits, builds *obs.Counter) {
+	c.requests, c.hits, c.builds = requests, hits, builds
+}
+
 // NumComponents returns the number of strongly connected components.
 func (c *Condensation) NumComponents() int { return len(c.comps) }
 
@@ -174,7 +190,9 @@ func (c *Condensation) ClosureOf(n int) *bits.Set {
 // total fill cost is O(components × words) plus the one-off member
 // inserts. Caller holds c.mu.
 func (c *Condensation) ensure(target int) *bits.Set {
+	c.requests.Add(1)
 	if s := c.closure[target]; s != nil {
+		c.hits.Add(1)
 		return s
 	}
 	n := len(c.comp)
@@ -190,6 +208,7 @@ func (c *Condensation) ensure(target int) *bits.Set {
 			s.UnionWith(c.closure[d])
 		}
 		c.closure[i] = s
+		c.builds.Add(1)
 	}
 	return c.closure[target]
 }
