@@ -23,6 +23,14 @@
 //	                  histograms, traversal/jump counters, closure
 //	                  cache statistics) as JSON; counter values are
 //	                  identical at any -parallel
+//	-trace FILE       journal trace events (phase spans, traversal
+//	                  passes, jump admissions with rule evidence,
+//	                  closure-cache activity) into a flight recorder
+//	                  sized by -flight and write them as Chrome
+//	                  trace_event JSON, loadable in chrome://tracing
+//	                  and Perfetto; -json reports then carry the
+//	                  flight recorder's written/dropped accounting
+//	-flight N         flight recorder capacity in events (with -trace)
 //	-cpuprofile FILE  write a runtime/pprof CPU profile of the run
 //	-memprofile FILE  write a heap profile at exit
 //
@@ -58,6 +66,8 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
 	metricsPath := fs.String("metrics", "", "write the pipeline metrics snapshot as JSON to this file")
+	tracePath := fs.String("trace", "", "write the run's trace as Chrome trace_event JSON to this file")
+	flight := fs.Int("flight", 1<<16, "flight recorder capacity in events (used with -trace)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +93,11 @@ func run(args []string, out io.Writer) error {
 	if *metricsPath != "" || *jsonPath != "" {
 		reg = obs.NewRegistry()
 		o.Recorder = reg
+	}
+	var fr *obs.FlightRecorder
+	if *tracePath != "" {
+		fr = obs.NewFlightRecorder(*flight)
+		o.Tracer = obs.NewTracer(fr)
 	}
 	report := &exps.Report{Seeds: o.Seeds, Stmts: o.Stmts, Parallel: o.Parallel}
 
@@ -151,6 +166,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if reg != nil {
 		report.Metrics = reg.Snapshot()
+	}
+	report.Trace = exps.TraceStatsOf(fr)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, fr.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote chrome trace to %s (%d events buffered, %d written, %d dropped)\n",
+			*tracePath, report.Trace.Buffered, report.Trace.Written, report.Trace.Dropped)
 	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, report); err != nil {

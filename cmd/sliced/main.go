@@ -1,0 +1,377 @@
+// Command sliced is an observable slicing daemon: it serves the
+// repository's slicing algorithms over HTTP, with every request
+// journaled into an in-process flight recorder and aggregated into
+// the pipeline metrics registry.
+//
+// Endpoints:
+//
+//	POST /slice         slice a program; the body is either raw
+//	                    program source with ?var= &line= (&algo=)
+//	                    query parameters, or a JSON object
+//	                    {"source":..,"var":..,"line":..,"algo":..}.
+//	                    ?explain=1 adds per-line provenance and the
+//	                    annotated listing to the response.
+//	GET  /metrics       Prometheus text exposition (v0.0.4) of the
+//	                    metrics registry: slice/traversal/jump
+//	                    counters and phase histograms.
+//	GET  /debug/flight  the flight recorder's buffered events as
+//	                    JSONL, oldest first (?n= limits to the last
+//	                    n events).
+//	GET  /debug/trace   ?id=N renders one request's events as Chrome
+//	                    trace_event JSON (chrome://tracing, Perfetto).
+//	GET  /healthz       liveness probe.
+//
+// Every request gets a monotonically increasing ID, echoed in the
+// X-Request-ID response header and stamped on its trace events, so a
+// /slice response can be correlated with /debug/trace?id=. The
+// daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+//
+// Usage:
+//
+//	sliced [-addr 127.0.0.1:8080] [-flight 65536]
+//
+//	curl -sS --data-binary @testdata/fig5-a.mc \
+//	    'http://127.0.0.1:8080/slice?var=positives&line=14'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flight := flag.Int("flight", 1<<16, "flight recorder capacity in events")
+	flag.Parse()
+	if err := serve(*addr, *flight); err != nil {
+		fmt.Fprintln(os.Stderr, "sliced:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains in-flight
+// requests and returns nil on a clean shutdown.
+func serve(addr string, flight int) error {
+	s := newServer(flight, os.Stderr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveOn(ln, s)
+}
+
+// serveOn is serve minus listener setup, split out so tests can bind
+// port 0 themselves and drive the signal path.
+func serveOn(ln net.Listener, s *server) error {
+	srv := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.logger.Printf("sliced listening on http://%s (flight recorder: %d events)", ln.Addr(), s.fr.Cap())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Printf("sliced shutting down (%d requests served, %d events written, %d dropped)",
+		s.reqID.Load(), s.fr.Written(), s.fr.Dropped())
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// server holds the daemon's shared observability state. All fields
+// are safe for concurrent use: the registry's counters/histograms are
+// atomic, the flight recorder is lock-free, and per-request tracers
+// are derived (not mutated) from the root tracer.
+type server struct {
+	reg    *obs.Registry
+	fr     *obs.FlightRecorder
+	tr     *obs.Tracer
+	reqID  atomic.Int64
+	logger *log.Logger
+	mux    *http.ServeMux
+}
+
+func newServer(flight int, logw io.Writer) *server {
+	s := &server{
+		reg:    obs.NewRegistry(),
+		fr:     obs.NewFlightRecorder(flight),
+		logger: log.New(logw, "", log.LstdFlags|log.Lmicroseconds),
+	}
+	s.tr = obs.NewTracer(s.fr)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /slice", s.handleSlice)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's full handler chain: request-ID
+// assignment and access logging around the route mux.
+func (s *server) Handler() http.Handler { return s.accessLog(s.mux) }
+
+type ctxKey int
+
+const reqIDKey ctxKey = 0
+
+// requestID returns the request's assigned ID (0 if the middleware
+// did not run, which only happens in tests hitting handlers direct).
+func requestID(r *http.Request) uint64 {
+	id, _ := r.Context().Value(reqIDKey).(uint64)
+	return id
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog assigns the request ID, echoes it as X-Request-ID, and
+// logs one line per request with status and duration.
+func (s *server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := uint64(s.reqID.Add(1))
+		w.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
+		s.logger.Printf("req=%d %s %s %d %s", id, r.Method, r.URL.Path, sw.status, time.Since(start))
+	})
+}
+
+// sliceRequest is the JSON form of a /slice request body. The raw
+// form (program source as the body, criterion in the query string)
+// accepts the same algo names.
+type sliceRequest struct {
+	Source string `json:"source"`
+	Var    string `json:"var"`
+	Line   int    `json:"line"`
+	Algo   string `json:"algo"` // "" = agrawal (Figure 7)
+}
+
+// sliceResponse is the /slice response. Reasons and Listing are only
+// present with ?explain=1.
+type sliceResponse struct {
+	Request    uint64           `json:"request"`
+	Algorithm  string           `json:"algorithm"`
+	Var        string           `json:"var"`
+	Line       int              `json:"line"`
+	Lines      []int            `json:"lines"`
+	JumpLines  []int            `json:"jump_lines,omitempty"`
+	Traversals int              `json:"traversals,omitempty"`
+	Text       string           `json:"text"`
+	Reasons    map[int][]string `json:"reasons,omitempty"`
+	Listing    string           `json:"listing,omitempty"`
+	DurationNS int64            `json:"duration_ns"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseSliceRequest decodes either request form.
+func parseSliceRequest(r *http.Request) (*sliceRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	req := &sliceRequest{}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, req); err != nil {
+			return nil, fmt.Errorf("decoding JSON body: %w", err)
+		}
+	} else {
+		req.Source = string(body)
+	}
+	q := r.URL.Query()
+	if v := q.Get("var"); v != "" {
+		req.Var = v
+	}
+	if v := q.Get("line"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad line %q: %w", v, err)
+		}
+		req.Line = n
+	}
+	if v := q.Get("algo"); v != "" {
+		req.Algo = v
+	}
+	if req.Algo == "" {
+		req.Algo = "agrawal"
+	}
+	switch {
+	case strings.TrimSpace(req.Source) == "":
+		return nil, fmt.Errorf("empty program source")
+	case req.Var == "":
+		return nil, fmt.Errorf("missing criterion variable (var)")
+	case req.Line <= 0:
+		return nil, fmt.Errorf("missing or non-positive criterion line (line)")
+	}
+	return req, nil
+}
+
+// coreSlice dispatches the algorithms the daemon serves: the paper's
+// three (Figures 7, 12, 13), the LST-driven Figure 7 variant, and the
+// conventional baseline.
+func coreSlice(a *core.Analysis, algo string, c core.Criterion) (*core.Slice, error) {
+	switch algo {
+	case "agrawal":
+		return a.Agrawal(c)
+	case "agrawal-lst":
+		return a.AgrawalLST(c)
+	case "structured":
+		return a.AgrawalStructured(c)
+	case "conservative":
+		return a.AgrawalConservative(c)
+	case "conventional":
+		return a.Conventional(c)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want agrawal, agrawal-lst, structured, conservative or conventional)", algo)
+}
+
+func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	req, err := parseSliceRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := requestID(r)
+	tr := s.tr.ForRequest(id)
+	start := time.Now()
+
+	prog, err := lang.Parse(req.Source)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "parse: %v", err)
+		return
+	}
+	a, err := core.AnalyzeObserved(prog, s.reg, tr)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "analyze: %v", err)
+		return
+	}
+	sl, err := coreSlice(a, req.Algo, core.Criterion{Var: req.Var, Line: req.Line})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "slice: %v", err)
+		return
+	}
+	resp := &sliceResponse{
+		Request:    id,
+		Algorithm:  sl.Algorithm,
+		Var:        req.Var,
+		Line:       req.Line,
+		Lines:      sl.Lines(),
+		Traversals: sl.Traversals,
+		Text:       sl.Format(),
+	}
+	for _, nid := range sl.JumpsAdded {
+		resp.JumpLines = append(resp.JumpLines, a.CFG.Nodes[nid].Line)
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		p, err := sl.Explain()
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "explain: %v", err)
+			return
+		}
+		resp.Reasons = p.LineReasons()
+		resp.Listing = p.Listing()
+	}
+	resp.DurationNS = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.reg.Snapshot())
+}
+
+func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	events := s.fr.Events()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Flight-Written", strconv.FormatUint(s.fr.Written(), 10))
+	w.Header().Set("X-Flight-Dropped", strconv.FormatUint(s.fr.Dropped(), 10))
+	obs.WriteJSONL(w, events)
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	v := r.URL.Query().Get("id")
+	if v == "" {
+		s.fail(w, http.StatusBadRequest, "missing id parameter")
+		return
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad id %q: %v", v, err)
+		return
+	}
+	events := s.fr.RequestEvents(id)
+	if len(events) == 0 {
+		s.fail(w, http.StatusNotFound, "no buffered events for request %d (evicted or never traced)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTrace(w, events)
+}

@@ -48,7 +48,7 @@ func (a *Analysis) agrawalWith(c Criterion, eng depEngine) (*Slice, error) {
 	}
 	s.JumpsAdded, s.JumpRules, s.Traversals = jumps, rules, traversals
 	s.Relabeled = a.retargetLabels(set)
-	a.recordSlice(set)
+	a.recordSlice(s.Algorithm, set)
 	return s, nil
 }
 
@@ -79,6 +79,7 @@ func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (ju
 	for {
 		traversals++
 		a.m.traversals.Add(1)
+		a.tr.Traversal("fig7", traversals)
 		changed := false
 		for _, v := range worklist {
 			if set.Has(v) {
@@ -94,6 +95,7 @@ func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (ju
 			jumpsAdded = append(jumpsAdded, v)
 			rules = append(rules, JumpRule{NearestPD: pd, NearestLS: ls})
 			a.m.jumpsAdmitted.Add(1)
+			a.tr.JumpAdmitted("fig7", v, pd, ls)
 			changed = true
 		}
 		if !changed {
@@ -131,17 +133,21 @@ func (a *Analysis) AgrawalLST(c Criterion) (*Slice, error) {
 	}
 	s.JumpsAdded, s.JumpRules, s.Traversals = jumps, rules, traversals
 	s.Relabeled = a.retargetLabels(set)
-	a.recordSlice(set)
+	a.recordSlice(s.Algorithm, set)
 	return s, nil
 }
 
-// recordSlice reports a finished slice to the recorder: one slice
-// counted, its final node count observed. A single nil-check each
-// when recording is disabled.
-func (a *Analysis) recordSlice(set *bits.Set) {
+// recordSlice reports a finished slice to the recorder and the trace:
+// one slice counted, its final node count observed, one trace event
+// named after the algorithm. A single nil-check each when recording
+// and tracing are disabled.
+func (a *Analysis) recordSlice(algo string, set *bits.Set) {
 	a.m.slices.Add(1)
 	if a.m.sliceNodes != nil {
 		a.m.sliceNodes.Observe(int64(set.Len()))
+	}
+	if a.tr != nil {
+		a.tr.SliceDone(algo, set.Len())
 	}
 }
 

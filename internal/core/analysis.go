@@ -127,6 +127,12 @@ type Analysis struct {
 	// nil-check per event when recording is disabled.
 	rec obs.Recorder
 	m   coreMetrics
+
+	// tr is the request-scoped tracer (nil unless AnalyzeObserved
+	// attached one). Every trace emission below is nil-checked inside
+	// the tracer, so the untraced hot path pays the same single-branch
+	// cost as the unrecorded one.
+	tr *obs.Tracer
 }
 
 // coreMetrics is the Analysis's pre-resolved instrument set. All
@@ -180,23 +186,41 @@ func Analyze(prog *lang.Program) (*Analysis, error) {
 // Analysis reports its fixpoint traversals, jump examinations and
 // slice sizes to the same recorder. A nil recorder means obs.Nop.
 func AnalyzeRecorded(prog *lang.Program, rec obs.Recorder) (*Analysis, error) {
+	return AnalyzeObserved(prog, rec, nil)
+}
+
+// AnalyzeObserved is AnalyzeRecorded with a request-scoped tracer
+// attached as well: every phase span also lands in the trace as an
+// event, and each slicing call on the returned Analysis emits its
+// traversal passes, jump admissions (with the nearest-postdominator/
+// lexical-successor evidence of the Figure 7 rule), closure-cache
+// activity and finished slices to the same tracer. A nil tracer means
+// no tracing — the metrics-only behaviour of AnalyzeRecorded.
+func AnalyzeObserved(prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Analysis, error) {
 	rec = obs.OrNop(rec)
-	total := rec.StartSpan("phase.analyze")
-	sp := rec.StartSpan("phase.analyze.cfg")
+	// phase times one construction phase on both sinks: the metrics
+	// histogram and, when tracing, the event journal.
+	phase := func(name string) func() {
+		sp := rec.StartSpan(name)
+		ts := tr.StartSpan(name)
+		return func() { ts.End(); sp.End() }
+	}
+	endTotal := phase("phase.analyze")
+	end := phase("phase.analyze.cfg")
 	g, err := cfg.Build(prog)
-	sp.End()
+	end()
 	if err != nil {
 		return nil, err
 	}
-	sp = rec.StartSpan("phase.analyze.postdominators")
+	end = phase("phase.analyze.postdominators")
 	pdt := dom.PostDominators(g, g.Exit.ID)
-	sp.End()
-	sp = rec.StartSpan("phase.analyze.cdg")
+	end()
+	end = phase("phase.analyze.cdg")
 	cd := cdg.Build(g, pdt)
-	sp.End()
-	sp = rec.StartSpan("phase.analyze.dataflow")
+	end()
+	end = phase("phase.analyze.dataflow")
 	rd := dataflow.Reach(g)
-	sp.End()
+	end()
 	a := &Analysis{
 		Prog: prog,
 		CFG:  g,
@@ -204,15 +228,16 @@ func AnalyzeRecorded(prog *lang.Program, rec obs.Recorder) (*Analysis, error) {
 		CDG:  cd,
 		RD:   rd,
 		rec:  rec,
+		tr:   tr,
 	}
 	a.m.resolve(rec)
-	sp = rec.StartSpan("phase.analyze.pdg")
+	end = phase("phase.analyze.pdg")
 	a.PDG = pdg.Build(g, cd, rd)
-	sp.End()
-	sp = rec.StartSpan("phase.analyze.lst")
+	end()
+	end = phase("phase.analyze.lst")
 	a.LST = lst.Build(g)
-	sp.End()
-	sp = rec.StartSpan("phase.analyze.worklists")
+	end()
+	end = phase("phase.analyze.worklists")
 	a.live = make([]bool, len(g.Nodes))
 	for id := range g.Reachable() {
 		a.live[id] = true
@@ -272,14 +297,18 @@ func AnalyzeRecorded(prog *lang.Program, rec obs.Recorder) (*Analysis, error) {
 			a.switchNodes = append(a.switchNodes, id)
 		}
 	}
-	sp.End()
-	total.End()
+	end()
+	endTotal()
 	return a, nil
 }
 
 // Recorder returns the observability recorder attached at analysis
 // time (obs.Nop when none was).
 func (a *Analysis) Recorder() obs.Recorder { return a.rec }
+
+// Tracer returns the tracer attached at analysis time (nil when none
+// was; the nil tracer is a valid no-op).
+func (a *Analysis) Tracer() *obs.Tracer { return a.tr }
 
 // filterLiveJumps projects a tree preorder onto the live jump nodes,
 // preserving order — the only nodes the Figure 7 traversals act on.

@@ -60,7 +60,8 @@ func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG} }
 func (a *Analysis) batchEngine() depEngine {
 	a.batchOnce.Do(func() {
 		sp := a.rec.StartSpan("phase.analyze.condense")
-		defer sp.End()
+		ts := a.tr.StartSpan("phase.analyze.condense")
+		defer func() { ts.End(); sp.End() }()
 		n := a.CFG.NumNodes()
 		aug := make([][]int, n)
 		extra := make(map[int][]int, len(a.condJumps)+len(a.switchNodes))
@@ -86,6 +87,7 @@ func (a *Analysis) batchEngine() depEngine {
 			a.rec.Counter("pdg.closure_requests"),
 			a.rec.Counter("pdg.closure_hits"),
 			a.rec.Counter("pdg.closure_builds"))
+		a.batchCond.Trace(a.tr)
 	})
 	return condEngine{a.batchCond}
 }

@@ -51,6 +51,7 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 	for {
 		s.Traversals++
 		a.m.traversals.Add(1)
+		a.tr.Traversal("fig12", s.Traversals)
 		changed := false
 		for _, v := range a.jumpsPDT {
 			if set.Has(v) {
@@ -77,6 +78,7 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 			s.JumpsAdded = append(s.JumpsAdded, v)
 			s.JumpRules = append(s.JumpRules, JumpRule{NearestPD: pd, NearestLS: ls})
 			a.m.jumpsAdmitted.Add(1)
+			a.tr.JumpAdmitted("fig12", v, pd, ls)
 			changed = true
 		}
 		if !changed {
@@ -87,7 +89,7 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 		}
 	}
 	s.Relabeled = a.retargetLabels(set)
-	a.recordSlice(set)
+	a.recordSlice(s.Algorithm, set)
 	return s, nil
 }
 
@@ -119,9 +121,11 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 	// AgrawalStructured; the on-the-fly reading of the paper's Figure
 	// 13 — detect jumps while the conventional closure grows — has
 	// the same effect).
-	for changed := true; changed; {
+	for pass, changed := 0, true; changed; {
 		changed = false
+		pass++
 		a.m.traversals.Add(1)
+		a.tr.Traversal("fig13", pass)
 		for _, j := range a.CFG.Jumps() {
 			if set.Has(j.ID) || !a.live[j.ID] {
 				continue
@@ -131,12 +135,15 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 				a.addJumpWithClosure(set, j.ID, eng)
 				s.JumpsAdded = append(s.JumpsAdded, j.ID)
 				a.m.jumpsAdmitted.Add(1)
+				// Figure 13 admits by the candidate rule, not the
+				// nearest-PD/nearest-LS test; no evidence to carry.
+				a.tr.JumpAdmitted("fig13", j.ID, -1, -1)
 				changed = true
 			}
 		}
 	}
 	s.Relabeled = a.retargetLabels(set)
-	a.recordSlice(set)
+	a.recordSlice(s.Algorithm, set)
 	return s, nil
 }
 

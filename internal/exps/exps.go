@@ -45,6 +45,12 @@ type Options struct {
 	// it — the instruments are atomic, and sums commute, so the
 	// counter state is identical at any Parallel.
 	Recorder obs.Recorder
+	// Tracer, when non-nil, journals structured trace events (phase
+	// spans, traversal passes, jump admissions with rule evidence,
+	// cache activity) for every seed into its flight recorder. All
+	// workers share it; the ring's writers are lock-free, so tracing
+	// does not serialize the pool.
+	Tracer *obs.Tracer
 }
 
 // DefaultParallel is the worker pool size used when the caller does
@@ -66,6 +72,32 @@ type Report struct {
 	// caller attached an Options.Recorder: phase timings, traversal
 	// and jump counters, closure cache statistics.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Trace summarizes the flight recorder after the run, when the
+	// caller attached an Options.Tracer: how many events the run
+	// published, how many the bounded ring had to evict, and how many
+	// remained buffered.
+	Trace *TraceStats `json:"trace,omitempty"`
+}
+
+// TraceStats is the flight-recorder accounting of one traced run.
+type TraceStats struct {
+	Capacity int    `json:"capacity"`
+	Written  uint64 `json:"events_written"`
+	Dropped  uint64 `json:"events_dropped"`
+	Buffered int    `json:"events_buffered"`
+}
+
+// TraceStatsOf summarizes a flight recorder (nil for a nil recorder).
+func TraceStatsOf(fr *obs.FlightRecorder) *TraceStats {
+	if fr == nil {
+		return nil
+	}
+	return &TraceStats{
+		Capacity: fr.Cap(),
+		Written:  fr.Written(),
+		Dropped:  fr.Dropped(),
+		Buffered: len(fr.Events()),
+	}
 }
 
 // PrecisionRow is one E1 table row: mean slice sizes for an
@@ -171,9 +203,9 @@ type seedCase struct {
 
 // analyzeSeed builds the per-seed case every experiment starts from,
 // recording the analysis phases on rec (nil for none).
-func analyzeSeed(gen func(int64) *lang.Program, seed int64, rec obs.Recorder) (seedCase, error) {
+func analyzeSeed(gen func(int64) *lang.Program, seed int64, rec obs.Recorder, tr *obs.Tracer) (seedCase, error) {
 	p := gen(seed)
-	a, err := core.AnalyzeRecorded(p, rec)
+	a, err := core.AnalyzeObserved(p, rec, tr)
 	if err != nil {
 		return seedCase{}, fmt.Errorf("seed %d: %w", seed, err)
 	}
@@ -241,7 +273,7 @@ func Precision(o Options) ([]PrecisionRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder)
+			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -344,7 +376,7 @@ func Soundness(o Options) ([]SoundnessRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder)
+			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -398,7 +430,7 @@ func Traversals(o Options) ([]TraversalRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder)
+			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -455,7 +487,7 @@ func Dynamic(o Options) ([]DynamicRow, error) {
 			prof := prof
 			type totals struct{ dyn, stat, cases int }
 			parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (totals, error) {
-				sc, err := analyzeSeed(gen, seed, o.Recorder)
+				sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
 				if err != nil {
 					return totals{}, err
 				}
@@ -522,7 +554,7 @@ func Timing(o Options) ([]TimingRow, error) {
 		c := cells[i]
 		size := TimingSizes[c.col]
 		p := progen.Structured(progen.Config{Seed: 1, Stmts: size})
-		a, err := core.AnalyzeRecorded(p, o.Recorder)
+		a, err := core.AnalyzeObserved(p, o.Recorder, o.Tracer)
 		if err != nil {
 			return struct{}{}, err
 		}

@@ -1,0 +1,153 @@
+package obs
+
+// Exporters: trace events as JSONL and Chrome trace_event JSON, and
+// Registry snapshots in the Prometheus text exposition format.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteJSONL writes one JSON object per event, one event per line —
+// the /debug/flight wire format, greppable and `jq`-able.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event record. The subset emitted here —
+// complete events ("X") and thread-scoped instants ("i") with
+// microsecond timestamps — loads in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders events in the Chrome trace_event JSON
+// format (object form, loadable in chrome://tracing and Perfetto).
+// Spans become complete ("X") events, everything else thread-scoped
+// instants ("i"); each request's events land on their own track (tid =
+// request ID). Timestamps are rebased to the earliest event so the
+// viewer opens at t=0 with full microsecond precision.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var base int64
+	for i, e := range events {
+		if i == 0 || e.TS < base {
+			base = e.TS
+		}
+	}
+	tr := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			TS:   float64(e.TS-base) / 1e3,
+			PID:  1,
+			TID:  e.Req,
+		}
+		switch e.Kind {
+		case KindSpan:
+			ce.Ph, ce.Dur = "X", float64(e.Dur)/1e3
+		default:
+			ce.Ph, ce.S = "i", "t"
+		}
+		args := map[string]string{"seq": fmt.Sprintf("%d", e.Seq)}
+		if e.Node >= 0 {
+			args["node"] = fmt.Sprintf("%d", e.Node)
+		}
+		if e.PD >= 0 {
+			args["nearest_pd"] = fmt.Sprintf("%d", e.PD)
+		}
+		if e.LS >= 0 {
+			args["nearest_ls"] = fmt.Sprintf("%d", e.LS)
+		}
+		if e.N != 0 {
+			args["n"] = fmt.Sprintf("%d", e.N)
+		}
+		ce.Args = args
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// promName sanitizes an instrument name into a Prometheus metric name:
+// "jumpslice_" prefix, every non-alphanumeric rune folded to '_'.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("jumpslice_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format, version 0.0.4 (serve it with Content-Type
+// "text/plain; version=0.0.4"). Counters gain the conventional
+// "_total" suffix; histograms keep their unit as a name suffix ("_ns"
+// for durations) and emit cumulative "_bucket" series with explicit
+// le bounds — the snapshot's inclusive upper bounds, the unbounded
+// overflow bucket rendering as le="+Inf" — plus "_sum" and "_count".
+// Output order follows the snapshot (instruments sorted by name), so
+// equal snapshots render to equal bytes.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if h.Unit != "" && h.Unit != UnitCount {
+			name += "_" + string(h.Unit)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Le == math.MaxInt64 {
+				continue // the overflow bucket is the +Inf line below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition bytes for a fixed
+// snapshot: counter naming (_total), histogram unit suffixing, sparse
+// cumulative buckets with explicit le bounds, the unbounded overflow
+// bucket rendered as +Inf, and name-sorted deterministic order.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.slices").Add(3)
+	r.Counter("pdg.closure_hits").Add(5)
+	sizes := r.Histogram("core.slice_nodes", UnitCount)
+	for _, v := range []int64{1, 2, 3, 1 << 50} {
+		sizes.Observe(v)
+	}
+	phase := r.Histogram("phase.analyze", UnitNanoseconds)
+	phase.Observe(100)
+	phase.Observe(200)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE jumpslice_core_slices_total counter
+jumpslice_core_slices_total 3
+# TYPE jumpslice_pdg_closure_hits_total counter
+jumpslice_pdg_closure_hits_total 5
+# TYPE jumpslice_core_slice_nodes histogram
+jumpslice_core_slice_nodes_bucket{le="1"} 1
+jumpslice_core_slice_nodes_bucket{le="3"} 3
+jumpslice_core_slice_nodes_bucket{le="+Inf"} 4
+jumpslice_core_slice_nodes_sum 1125899906842630
+jumpslice_core_slice_nodes_count 4
+# TYPE jumpslice_phase_analyze_ns histogram
+jumpslice_phase_analyze_ns_bucket{le="127"} 1
+jumpslice_phase_analyze_ns_bucket{le="255"} 2
+jumpslice_phase_analyze_ns_bucket{le="+Inf"} 2
+jumpslice_phase_analyze_ns_sum 300
+jumpslice_phase_analyze_ns_count 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusEmptySnapshot renders nothing for an empty registry.
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", buf.String())
+	}
+}

@@ -21,9 +21,30 @@
 // counter sums and histogram merges commute. Snapshot renders the
 // state deterministically (instruments sorted by name) for JSON dumps
 // and cross-run comparison.
+//
+// # Histogram bucket scheme
+//
+// Every Histogram has the same NumBuckets (48) fixed buckets over
+// int64 observations, with power-of-two boundaries:
+//
+//	bucket 0               values v <= 0
+//	bucket i (1..46)       2^(i-1) <= v < 2^i
+//	bucket 47 (overflow)   values v >= 2^46, unbounded
+//
+// Fixed buckets make Observe two atomic adds with no allocation, and
+// make merging across recorders element-wise addition. For
+// UnitNanoseconds histograms bucket 46's upper bound (2^46 ns) is
+// about 20 hours; for UnitCount histograms it is far beyond any node
+// set this repository produces, so the overflow bucket is empty in
+// practice — but it is still unbounded, and exported snapshots say
+// so: each Bucket carries its explicit inclusive upper bound Le
+// (BucketUpperBound), with the overflow bucket reporting
+// math.MaxInt64, which consumers (the Prometheus renderer) present as
+// +Inf rather than inventing a bound the bucket does not have.
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -65,11 +86,15 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// numBuckets is the fixed bucket count of every histogram: power-of-
+// NumBuckets is the fixed bucket count of every histogram: power-of-
 // two buckets covering 1..2^46 (for nanoseconds, ~20 hours; for
 // counts, far beyond any node set), plus bucket 0 for values <= 0 and
-// a final overflow bucket.
-const numBuckets = 48
+// a final unbounded overflow bucket. See the package comment for the
+// full scheme.
+const NumBuckets = 48
+
+// numBuckets is the internal alias predating the exported constant.
+const numBuckets = NumBuckets
 
 // Histogram is a fixed-bucket histogram over int64 observations with
 // power-of-two bucket boundaries: bucket 0 counts values <= 0, bucket
@@ -227,8 +252,12 @@ type CounterSnapshot struct {
 	Value int64  `json:"value"`
 }
 
-// Bucket is one nonzero histogram bucket: Le is the bucket's
-// inclusive upper bound (0 for the <= 0 bucket, 2^i - 1 otherwise).
+// Bucket is one nonzero histogram bucket with its explicit inclusive
+// upper bound: 0 for the <= 0 bucket, 2^i - 1 for interior bucket i,
+// and math.MaxInt64 (meaning +Inf — the bucket is unbounded) for the
+// overflow bucket. Snapshots carry the bound itself rather than
+// leaving it implied by bucket index, so consumers need no knowledge
+// of the bucket scheme to render ranges.
 type Bucket struct {
 	Le    int64 `json:"le"`
 	Count int64 `json:"count"`
@@ -252,10 +281,15 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
-// upperBound returns bucket i's inclusive upper bound.
-func upperBound(i int) int64 {
-	if i == 0 {
+// BucketUpperBound returns bucket i's inclusive upper bound: 0 for
+// the <= 0 bucket, 2^i - 1 for interior buckets, and math.MaxInt64
+// (+Inf; the bucket is unbounded) for the final overflow bucket.
+func BucketUpperBound(i int) int64 {
+	switch {
+	case i == 0:
 		return 0
+	case i >= NumBuckets-1:
+		return math.MaxInt64
 	}
 	return int64(1)<<uint(i) - 1
 }
@@ -277,7 +311,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		hs := HistogramSnapshot{Name: name, Unit: h.unit, Count: h.count.Load(), Sum: h.sum.Load()}
 		for i := 0; i < numBuckets; i++ {
 			if n := h.buckets[i].Load(); n != 0 {
-				hs.Buckets = append(hs.Buckets, Bucket{Le: upperBound(i), Count: n})
+				hs.Buckets = append(hs.Buckets, Bucket{Le: BucketUpperBound(i), Count: n})
 			}
 		}
 		s.Histograms = append(s.Histograms, hs)

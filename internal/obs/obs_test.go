@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -61,8 +62,9 @@ func TestCounterAndHistogram(t *testing.T) {
 	if len(snap.Histograms) != 1 {
 		t.Fatalf("histograms = %d", len(snap.Histograms))
 	}
-	// 0 → bucket le=0; 1 → le=1; 2,3 → le=3; 4 → le=7; 1<<50 → overflow.
-	wantBuckets := map[int64]int64{0: 1, 1: 1, 3: 2, 7: 1, 1<<47 - 1: 1}
+	// 0 → bucket le=0; 1 → le=1; 2,3 → le=3; 4 → le=7; 1<<50 → the
+	// unbounded overflow bucket, whose explicit bound is +Inf.
+	wantBuckets := map[int64]int64{0: 1, 1: 1, 3: 2, 7: 1, math.MaxInt64: 1}
 	for _, b := range snap.Histograms[0].Buckets {
 		if wantBuckets[b.Le] != b.Count {
 			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, wantBuckets[b.Le])

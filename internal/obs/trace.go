@@ -1,0 +1,330 @@
+package obs
+
+// Tracing: request-scoped structured events in a bounded, lossy,
+// lock-free flight recorder.
+//
+// Where the Registry answers "how much, in aggregate" (counters,
+// histograms), the Tracer answers "what happened, in order, on this
+// request": phase begin/end, fixpoint traversal passes, jump
+// admissions with the nearest-postdominator/lexical-successor evidence
+// the Figure 7 rule saw, closure-cache activity. Events land in a
+// FlightRecorder — a fixed-size ring that keeps the most recent N
+// events and evicts the oldest, with exact accounting of how many were
+// evicted — so a long-lived process can always answer "what were you
+// just doing" without unbounded memory.
+//
+// The same discipline as the metrics side applies: the nil *Tracer is
+// a valid no-op, every method starts with one nil-check, and no clock
+// is read and nothing is allocated when tracing is off. Instrumented
+// code holds a *Tracer (nil by default) next to its pre-resolved
+// instruments.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one trace event.
+type EventKind uint8
+
+// The event kinds.
+const (
+	// KindSpan is a completed phase: TS is the start, Dur the elapsed
+	// nanoseconds.
+	KindSpan EventKind = iota
+	// KindInstant is a generic point event with an optional count N.
+	KindInstant
+	// KindTraversal is one fixpoint pass of a jump-detection loop
+	// (Figures 7, 12, 13); N is the 1-based pass number.
+	KindTraversal
+	// KindJumpAdmitted is a jump admission: Node is the jump's
+	// flowgraph node, PD/LS the nearest-postdominator and nearest-
+	// lexical-successor evidence observed at admission time.
+	KindJumpAdmitted
+	// KindCacheHit is a closure-cache lookup answered from a memoized
+	// component closure; Node is the component index.
+	KindCacheHit
+	// KindCacheBuild is a component closure being materialized; Node
+	// is the component index.
+	KindCacheBuild
+	// KindSlice is a finished slice; N is its node count.
+	KindSlice
+)
+
+// String names the kind as it appears in JSONL exports.
+func (k EventKind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindInstant:
+		return "instant"
+	case KindTraversal:
+		return "traversal"
+	case KindJumpAdmitted:
+		return "jump-admitted"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheBuild:
+		return "cache-build"
+	case KindSlice:
+		return "slice"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one trace event. Events are immutable once published.
+type Event struct {
+	// Seq is the event's global sequence number: the i-th event ever
+	// published to the flight recorder has Seq i.
+	Seq uint64 `json:"seq"`
+	// Req scopes the event to one request (0 outside any request).
+	Req uint64 `json:"req"`
+	// Kind classifies the event; Name names the phase or rule.
+	Kind EventKind `json:"kind"`
+	Name string    `json:"name"`
+	// TS is the event time (for spans: the start) in nanoseconds since
+	// the Unix epoch; Dur is the span's elapsed nanoseconds (0 for
+	// point events).
+	TS  int64 `json:"ts_ns"`
+	Dur int64 `json:"dur_ns,omitempty"`
+	// Node, PD and LS carry node evidence for jump admissions (and the
+	// component index for cache events); -1 when absent.
+	Node int `json:"node"`
+	PD   int `json:"pd"`
+	LS   int `json:"ls"`
+	// N is a generic count: traversal pass number, slice node count.
+	N int64 `json:"n,omitempty"`
+}
+
+// FlightRecorder is a fixed-capacity, lossy ring of the most recent
+// trace events. Writers are lock-free: publishing is one atomic
+// fetch-add to reserve a slot plus one atomic pointer store, so any
+// number of request goroutines can share a recorder. When the ring is
+// full the oldest events are evicted by overwrite; Dropped reports
+// exactly how many, because the reservation counter never loses a
+// write. Readers (Events) see a best-effort snapshot: under heavy
+// concurrent writing a slot can briefly hold an event older than the
+// newest evicted one, which is the accepted cost of never blocking
+// the writers.
+type FlightRecorder struct {
+	mask  uint64
+	slots []atomic.Pointer[Event]
+	head  atomic.Uint64 // events ever published
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent
+// capacity events (rounded up to a power of two; minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int { return len(f.slots) }
+
+// publish assigns the event its sequence number and stores it.
+func (f *FlightRecorder) publish(e *Event) {
+	e.Seq = f.head.Add(1) - 1
+	f.slots[e.Seq&f.mask].Store(e)
+}
+
+// Written returns the number of events ever published (0 on nil).
+func (f *FlightRecorder) Written() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.head.Load()
+}
+
+// Dropped returns the number of events evicted from the ring: every
+// published event beyond the ring's capacity displaced an oldest one.
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	if w := f.head.Load(); w > uint64(len(f.slots)) {
+		return w - uint64(len(f.slots))
+	}
+	return 0
+}
+
+// Events returns a snapshot of the buffered events, oldest first
+// (ascending Seq). Nil recorder returns nil.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(f.slots))
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	// Slots hold distinct sequence numbers (slot index ≡ Seq mod cap),
+	// so sorting by Seq restores publication order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RequestEvents returns the buffered events of one request, oldest
+// first.
+func (f *FlightRecorder) RequestEvents(req uint64) []Event {
+	all := f.Events()
+	out := all[:0]
+	for _, e := range all {
+		if e.Req == req {
+			out = append(out, e)
+		}
+	}
+	return out[:len(out):len(out)]
+}
+
+// Tracer publishes events into a FlightRecorder, stamped with one
+// request ID. The nil Tracer is a valid no-op: every method costs one
+// nil-check, reads no clock, allocates nothing — the same disabled-
+// case contract as the nil Counter and Histogram.
+type Tracer struct {
+	fr  *FlightRecorder
+	req uint64
+}
+
+// NewTracer returns a tracer publishing into fr with request ID 0
+// (process scope). Returns nil when fr is nil, keeping the no-op
+// contract composable.
+func NewTracer(fr *FlightRecorder) *Tracer {
+	if fr == nil {
+		return nil
+	}
+	return &Tracer{fr: fr}
+}
+
+// ForRequest returns a tracer publishing into the same recorder with
+// events stamped req — the per-request child a daemon hands each
+// request's pipeline. Nil-safe.
+func (t *Tracer) ForRequest(req uint64) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{fr: t.fr, req: req}
+}
+
+// Recorder returns the underlying flight recorder (nil on nil).
+func (t *Tracer) Recorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.fr
+}
+
+// emit stamps and publishes one event.
+func (t *Tracer) emit(kind EventKind, name string, node, pd, ls int, n int64) {
+	t.fr.publish(&Event{
+		Req:  t.req,
+		Kind: kind,
+		Name: name,
+		TS:   time.Now().UnixNano(),
+		Node: node,
+		PD:   pd,
+		LS:   ls,
+		N:    n,
+	})
+}
+
+// Instant publishes a generic point event. No-op on nil.
+func (t *Tracer) Instant(name string, n int64) {
+	if t == nil {
+		return
+	}
+	t.emit(KindInstant, name, -1, -1, -1, n)
+}
+
+// Traversal publishes one fixpoint pass of the named jump-detection
+// loop (pass is 1-based). No-op on nil.
+func (t *Tracer) Traversal(name string, pass int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindTraversal, name, -1, -1, -1, int64(pass))
+}
+
+// JumpAdmitted publishes a jump admission with its rule evidence: the
+// jump's node and the nearest-postdominator/nearest-lexical-successor
+// pair observed at admission time. No-op on nil.
+func (t *Tracer) JumpAdmitted(name string, node, pd, ls int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindJumpAdmitted, name, node, pd, ls, 0)
+}
+
+// CacheHit publishes a closure-cache hit on the given component;
+// CacheBuild a component closure materialization. No-ops on nil.
+func (t *Tracer) CacheHit(comp int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindCacheHit, "pdg.closure", comp, -1, -1, 0)
+}
+
+// CacheBuild publishes a component closure materialization.
+func (t *Tracer) CacheBuild(comp int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindCacheBuild, "pdg.closure", comp, -1, -1, 0)
+}
+
+// SliceDone publishes a finished slice of nodes nodes. No-op on nil.
+func (t *Tracer) SliceDone(name string, nodes int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindSlice, name, -1, -1, -1, int64(nodes))
+}
+
+// TraceSpan times one phase for the trace, the tracing twin of Span.
+// The zero TraceSpan (what a nil Tracer hands out) is a no-op whose
+// End neither reads the clock nor publishes.
+type TraceSpan struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// StartSpan starts a phase span. On a nil tracer it returns the zero
+// (no-op) TraceSpan without reading the clock.
+func (t *Tracer) StartSpan(name string) TraceSpan {
+	if t == nil {
+		return TraceSpan{}
+	}
+	return TraceSpan{t: t, name: name, start: time.Now()}
+}
+
+// End publishes the completed span.
+func (s TraceSpan) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.fr.publish(&Event{
+		Req:  s.t.req,
+		Kind: KindSpan,
+		Name: s.name,
+		TS:   s.start.UnixNano(),
+		Dur:  int64(time.Since(s.start)),
+		Node: -1,
+		PD:   -1,
+		LS:   -1,
+	})
+}

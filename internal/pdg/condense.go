@@ -35,6 +35,11 @@ type Condensation struct {
 	// is a request answered from an already-memoized component
 	// closure; a build is one component closure being materialized.
 	requests, hits, builds *obs.Counter
+
+	// tracer, when non-nil (see Trace), receives one event per cache
+	// hit and per component-closure build, giving request traces the
+	// cache behaviour the aggregate counters only total up.
+	tracer *obs.Tracer
 }
 
 // Condensation returns the SCC condensation of the graph's dependence
@@ -165,6 +170,11 @@ func (c *Condensation) Instrument(requests, hits, builds *obs.Counter) {
 	c.requests, c.hits, c.builds = requests, hits, builds
 }
 
+// Trace attaches a tracer emitting per-lookup cache events (nil
+// detaches; the nil tracer is a no-op). Like Instrument, call it
+// before the condensation is shared across goroutines.
+func (c *Condensation) Trace(t *obs.Tracer) { c.tracer = t }
+
 // NumComponents returns the number of strongly connected components.
 func (c *Condensation) NumComponents() int { return len(c.comps) }
 
@@ -193,6 +203,7 @@ func (c *Condensation) ensure(target int) *bits.Set {
 	c.requests.Add(1)
 	if s := c.closure[target]; s != nil {
 		c.hits.Add(1)
+		c.tracer.CacheHit(target)
 		return s
 	}
 	n := len(c.comp)
@@ -209,6 +220,7 @@ func (c *Condensation) ensure(target int) *bits.Set {
 		}
 		c.closure[i] = s
 		c.builds.Add(1)
+		c.tracer.CacheBuild(i)
 	}
 	return c.closure[target]
 }
