@@ -39,26 +39,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"jumpslice/internal/exps"
 	"jumpslice/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupts cancel the run cooperatively: the worker pool stops
+	// dispatching seeds and in-flight analyses abort at their next
+	// cancellation check, so profiles and deferred cleanup still run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "slicebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|all")
 	seeds := fs.Int("seeds", 100, "number of generated programs per corpus")
@@ -89,7 +97,7 @@ func run(args []string, out io.Writer) error {
 	// The registry is attached whenever any output wants metrics; the
 	// experiments themselves run with the no-op recorder otherwise.
 	var reg *obs.Registry
-	o := exps.Options{Seeds: *seeds, Stmts: *stmts, Parallel: *parallel}
+	o := exps.Options{Seeds: *seeds, Stmts: *stmts, Parallel: *parallel, Context: ctx}
 	if *metricsPath != "" || *jsonPath != "" {
 		reg = obs.NewRegistry()
 		o.Recorder = reg

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func TestPrecisionTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "precision", "-seeds", "8", "-stmts", "20"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "precision", "-seeds", "8", "-stmts", "20"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -27,7 +28,7 @@ func TestPrecisionTable(t *testing.T) {
 
 func TestSoundnessTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "soundness", "-seeds", "6", "-stmts", "20"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "soundness", "-seeds", "6", "-stmts", "20"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -38,7 +39,7 @@ func TestSoundnessTable(t *testing.T) {
 
 func TestTraversalsTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "traversals", "-seeds", "10", "-stmts", "20"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "traversals", "-seeds", "10", "-stmts", "20"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -49,17 +50,17 @@ func TestTraversalsTable(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}, &sb); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
 
 func TestDeterministicTables(t *testing.T) {
 	var a, b strings.Builder
-	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &a); err != nil {
+	if err := run(context.Background(), []string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "precision", "-seeds", "5", "-stmts", "15"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -70,10 +71,10 @@ func TestDeterministicTables(t *testing.T) {
 func TestParallelMatchesSerial(t *testing.T) {
 	var serial, parallel strings.Builder
 	args := []string{"-exp", "precision", "-seeds", "8", "-stmts", "20"}
-	if err := run(append(args, "-parallel", "1"), &serial); err != nil {
+	if err := run(context.Background(), append(args, "-parallel", "1"), &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(args, "-parallel", "4"), &parallel); err != nil {
+	if err := run(context.Background(), append(args, "-parallel", "4"), &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -85,7 +86,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var sb strings.Builder
-	if err := run([]string{"-exp", "precision", "-seeds", "5", "-stmts", "15", "-json", path}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "precision", "-seeds", "5", "-stmts", "15", "-json", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "wrote JSON results to") {
@@ -120,7 +121,7 @@ func TestJSONRoundTrip(t *testing.T) {
 
 func TestDynamicTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-exp", "dynamic", "-seeds", "5", "-stmts", "20"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "dynamic", "-seeds", "5", "-stmts", "20"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "E6:") || !strings.Contains(sb.String(), "dynamic") {
@@ -140,7 +141,7 @@ func TestMetricsParallelDeterminism(t *testing.T) {
 		t.Helper()
 		path := filepath.Join(t.TempDir(), "metrics.json")
 		var sb strings.Builder
-		err := run([]string{"-exp", "precision", "-seeds", "8", "-stmts", "20",
+		err := run(context.Background(), []string{"-exp", "precision", "-seeds", "8", "-stmts", "20",
 			"-parallel", parallel, "-metrics", path}, &sb)
 		if err != nil {
 			t.Fatal(err)
@@ -182,7 +183,7 @@ func TestProfileFlags(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.prof")
 	mem := filepath.Join(dir, "mem.prof")
 	var sb strings.Builder
-	err := run([]string{"-exp", "traversals", "-seeds", "3", "-stmts", "15",
+	err := run(context.Background(), []string{"-exp", "traversals", "-seeds", "3", "-stmts", "15",
 		"-cpuprofile", cpu, "-memprofile", mem}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +207,7 @@ func TestTraceFlag(t *testing.T) {
 	tracePath := filepath.Join(dir, "trace.json")
 	jsonPath := filepath.Join(dir, "out.json")
 	var sb strings.Builder
-	err := run([]string{"-exp", "traversals", "-seeds", "4", "-stmts", "15",
+	err := run(context.Background(), []string{"-exp", "traversals", "-seeds", "4", "-stmts", "15",
 		"-trace", tracePath, "-flight", "1024", "-json", jsonPath}, &sb)
 	if err != nil {
 		t.Fatal(err)

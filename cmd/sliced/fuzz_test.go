@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzHandleSlice drives the /slice handler with arbitrary bodies and
+// query parameters, deliberately bypassing the panic-recovery
+// middleware: any panic crashes the fuzzer and is a finding. The
+// other invariants: no request produces a 5xx (client input can never
+// be a server fault on this path — the per-request timeout is
+// disabled), and every non-2xx response carries the structured JSON
+// error envelope.
+func FuzzHandleSlice(f *testing.F) {
+	files, _ := filepath.Glob("../../testdata/*.mc")
+	for _, fn := range files {
+		if data, err := os.ReadFile(fn); err == nil {
+			f.Add(data, "positives", "14", "agrawal", false, true)
+		}
+	}
+	f.Add([]byte(`{"source":"x = 1; write(x);","var":"x","line":2}`), "", "", "", true, false)
+	f.Add([]byte("x = 1;"), "x", "1", "conventional", false, false)
+	f.Add([]byte("x = 1;"), "x", "one", "magic", false, true)
+	f.Add([]byte("while ("), "x", "1", "", false, false)
+	f.Add([]byte{}, "", "-1", "structured", true, true)
+
+	f.Fuzz(func(t *testing.T, body []byte, varName, lineStr, algo string, asJSON, explain bool) {
+		if len(body) > 1<<16 {
+			return // bound per-exec analysis cost
+		}
+		cfg := defaultConfig()
+		cfg.Flight = 64
+		cfg.Timeout = 0 // a fuzz exec must never 503 on time
+		cfg.MaxBody = 1 << 17
+		cfg.MaxStmts = 2000
+		s := newServer(cfg, io.Discard)
+
+		q := url.Values{}
+		if varName != "" {
+			q.Set("var", varName)
+		}
+		if lineStr != "" {
+			q.Set("line", lineStr)
+		}
+		if algo != "" {
+			q.Set("algo", algo)
+		}
+		if explain {
+			q.Set("explain", "1")
+		}
+		req := httptest.NewRequest("POST", "/slice?"+q.Encode(), strings.NewReader(string(body)))
+		if asJSON {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		s.mux.ServeHTTP(rec, req) // no recovery middleware: panics surface
+
+		switch rec.Code {
+		case 200, 400, 404, 405, 413, 422:
+		default:
+			t.Fatalf("status %d for client input (body %q, query %q): %s",
+				rec.Code, body, q.Encode(), rec.Body.String())
+		}
+		if rec.Code != 200 {
+			var ae apiError
+			if err := json.Unmarshal(rec.Body.Bytes(), &ae); err != nil {
+				t.Fatalf("status %d without the JSON error envelope: %v: %s", rec.Code, err, rec.Body.String())
+			}
+			if ae.Error.Code == "" || ae.Error.Status != rec.Code {
+				t.Fatalf("malformed envelope for status %d: %+v", rec.Code, ae.Error)
+			}
+		}
+	})
+}

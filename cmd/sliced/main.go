@@ -27,9 +27,38 @@
 // daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
 //
+// # Operational limits
+//
+// The serving path is hardened against slow, huge, and hostile
+// requests; every limit is a flag:
+//
+//	-timeout D       per-request analysis deadline (default 10s).
+//	                 The deadline — and a client disconnect — cancels
+//	                 the slicing pipeline cooperatively mid-fixpoint
+//	                 (see internal/core); timeouts answer 503,
+//	                 disconnects are logged as 499.
+//	-max-body N      request body byte limit (default 1 MiB); larger
+//	                 bodies answer 413.
+//	-max-stmts N     parsed statement-count limit (default 20000);
+//	                 larger programs answer 413.
+//	-max-inflight N  concurrent /slice admission slots (default
+//	                 2×GOMAXPROCS); excess load is shed with 503 and
+//	                 a Retry-After header instead of queueing.
+//
+// A panic while serving one request is recovered, logged with its
+// stack, and answered as a 500 naming the request ID; the daemon
+// keeps serving.
+//
+// All errors — including 404/405 from routing and everything under
+// /debug/ — use one JSON envelope distinguishing client from server
+// faults:
+//
+//	{"error":{"code":"...","message":"...","status":NNN,"request_id":N}}
+//
 // Usage:
 //
-//	sliced [-addr 127.0.0.1:8080] [-flight 65536]
+//	sliced [-addr 127.0.0.1:8080] [-flight 65536] [-timeout 10s]
+//	       [-max-body 1048576] [-max-stmts 20000] [-max-inflight 16]
 //
 //	curl -sS --data-binary @testdata/fig5-a.mc \
 //	    'http://127.0.0.1:8080/slice?var=positives&line=14'
@@ -47,6 +76,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -59,19 +91,49 @@ import (
 )
 
 func main() {
+	cfg := defaultConfig()
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	flight := flag.Int("flight", 1<<16, "flight recorder capacity in events")
+	flag.IntVar(&cfg.Flight, "flight", cfg.Flight, "flight recorder capacity in events")
+	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "per-request analysis deadline (0 disables)")
+	flag.Int64Var(&cfg.MaxBody, "max-body", cfg.MaxBody, "request body limit in bytes")
+	flag.IntVar(&cfg.MaxStmts, "max-stmts", cfg.MaxStmts, "parsed statement count limit per program")
+	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /slice requests before shedding load")
 	flag.Parse()
-	if err := serve(*addr, *flight); err != nil {
+	if err := serve(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sliced:", err)
 		os.Exit(1)
 	}
 }
 
+// config carries the daemon's operational limits.
+type config struct {
+	Flight      int           // flight recorder capacity in events
+	Timeout     time.Duration // per-request analysis deadline; <=0 disables
+	MaxBody     int64         // request body byte limit
+	MaxStmts    int           // parsed statement-count limit
+	MaxInflight int           // /slice admission slots before shedding
+	// Failpoints enables the X-Sliced-Fail request header, which
+	// injects failures into the serving path (value "panic" panics
+	// inside the handler, "block" parks the request until released).
+	// It exists for the resilience tests and is never enabled by a
+	// flag; production requests carrying the header are unaffected.
+	Failpoints bool
+}
+
+func defaultConfig() config {
+	return config{
+		Flight:      1 << 16,
+		Timeout:     10 * time.Second,
+		MaxBody:     1 << 20,
+		MaxStmts:    20000,
+		MaxInflight: 2 * runtime.GOMAXPROCS(0),
+	}
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains in-flight
 // requests and returns nil on a clean shutdown.
-func serve(addr string, flight int) error {
-	s := newServer(flight, os.Stderr)
+func serve(addr string, cfg config) error {
+	s := newServer(cfg, os.Stderr)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -89,15 +151,16 @@ func serveOn(ln net.Listener, s *server) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	s.logger.Printf("sliced listening on http://%s (flight recorder: %d events)", ln.Addr(), s.fr.Cap())
+	s.logger.Printf("sliced listening on http://%s (flight recorder: %d events, timeout %s, max body %d, max stmts %d, max inflight %d)",
+		ln.Addr(), s.fr.Cap(), s.cfg.Timeout, s.cfg.MaxBody, s.cfg.MaxStmts, s.cfg.MaxInflight)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	s.logger.Printf("sliced shutting down (%d requests served, %d events written, %d dropped)",
-		s.reqID.Load(), s.fr.Written(), s.fr.Dropped())
+	s.logger.Printf("sliced shutting down (%d requests served, %d shed, %d events written, %d dropped)",
+		s.reqID.Load(), s.shed.Load(), s.fr.Written(), s.fr.Dropped())
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -111,39 +174,76 @@ func serveOn(ln net.Listener, s *server) error {
 
 // server holds the daemon's shared observability state. All fields
 // are safe for concurrent use: the registry's counters/histograms are
-// atomic, the flight recorder is lock-free, and per-request tracers
-// are derived (not mutated) from the root tracer.
+// atomic, the flight recorder is lock-free, per-request tracers are
+// derived (not mutated) from the root tracer, and the admission gate
+// is a buffered channel.
 type server struct {
+	cfg    config
 	reg    *obs.Registry
 	fr     *obs.FlightRecorder
 	tr     *obs.Tracer
 	reqID  atomic.Int64
+	shed   atomic.Int64 // requests answered 503 by the admission gate
 	logger *log.Logger
 	mux    *http.ServeMux
+	sem    chan struct{} // admission slots; acquired for the whole /slice handler
+	// unblock releases requests parked by the "block" failpoint; the
+	// resilience tests close it to let in-flight work finish.
+	unblock chan struct{}
 }
 
-func newServer(flight int, logw io.Writer) *server {
+func newServer(cfg config, logw io.Writer) *server {
+	if cfg.Flight <= 0 {
+		cfg.Flight = 1 << 16
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.MaxStmts <= 0 {
+		cfg.MaxStmts = 20000
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
 	s := &server{
-		reg:    obs.NewRegistry(),
-		fr:     obs.NewFlightRecorder(flight),
-		logger: log.New(logw, "", log.LstdFlags|log.Lmicroseconds),
+		cfg:     cfg,
+		reg:     obs.NewRegistry(),
+		fr:      obs.NewFlightRecorder(cfg.Flight),
+		logger:  log.New(logw, "", log.LstdFlags|log.Lmicroseconds),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		unblock: make(chan struct{}),
 	}
 	s.tr = obs.NewTracer(s.fr)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /slice", s.handleSlice)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/flight", s.handleFlight)
-	mux.HandleFunc("GET /debug/trace", s.handleTrace)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc("/slice", s.methods(map[string]http.HandlerFunc{
+		http.MethodPost: s.gated(s.handleSlice),
+	}))
+	mux.HandleFunc("/metrics", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleMetrics,
+	}))
+	mux.HandleFunc("/debug/flight", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleFlight,
+	}))
+	mux.HandleFunc("/debug/trace", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleTrace,
+	}))
+	mux.HandleFunc("/healthz", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		},
+	}))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.fail(w, r, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
 	})
 	s.mux = mux
 	return s
 }
 
 // Handler returns the daemon's full handler chain: request-ID
-// assignment and access logging around the route mux.
-func (s *server) Handler() http.Handler { return s.accessLog(s.mux) }
+// assignment and access logging, then panic recovery, then the route
+// mux. Recovery sits inside the access log so a recovered panic still
+// produces a log line with its request ID and a 500 response.
+func (s *server) Handler() http.Handler { return s.accessLog(s.recoverPanics(s.mux)) }
 
 type ctxKey int
 
@@ -156,15 +256,27 @@ func requestID(r *http.Request) uint64 {
 	return id
 }
 
-// statusWriter captures the response status for the access log.
+// statusWriter captures the response status for the access log and
+// whether a header was already written, so the panic recovery knows
+// if a 500 can still be sent.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // accessLog assigns the request ID, echoes it as X-Request-ID, and
@@ -178,6 +290,69 @@ func (s *server) accessLog(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
 		s.logger.Printf("req=%d %s %s %d %s", id, r.Method, r.URL.Path, sw.status, time.Since(start))
 	})
+}
+
+// recoverPanics isolates a panic to the request that caused it: the
+// panic is logged with its stack, the client gets a 500 naming the
+// request ID (when no response bytes have been sent yet), and the
+// daemon keeps serving. http.ErrAbortHandler is re-raised — it is
+// net/http's own "abort this response" protocol, not a failure.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			id := requestID(r)
+			s.logger.Printf("req=%d panic: %v\n%s", id, p, debug.Stack())
+			s.fail(w, r, http.StatusInternalServerError, "internal",
+				"internal error serving request %d; see server log", id)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// methods dispatches on the request method, answering anything else
+// with a structured 405 and an Allow header. The mux's own method
+// patterns are not used because their 405s are plain text.
+func (s *server) methods(handlers map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(handlers))
+	for m := range handlers {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := handlers[r.Method]; ok {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		s.fail(w, r, http.StatusMethodNotAllowed, "method_not_allowed",
+			"method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow)
+	}
+}
+
+// gated admits a request if an admission slot is free and sheds it
+// with 503 + Retry-After otherwise. Shedding immediately instead of
+// queueing keeps overload from stacking timed-out work: the client
+// knows within microseconds, and in-flight requests keep their CPU.
+func (s *server) gated(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next(w, r)
+		default:
+			s.shed.Add(1)
+			s.fail(w, r, http.StatusServiceUnavailable, "overloaded",
+				"all %d slicing slots busy; retry shortly", cap(s.sem))
+		}
+	}
 }
 
 // sliceRequest is the JSON form of a /slice request body. The raw
@@ -206,9 +381,26 @@ type sliceResponse struct {
 	DurationNS int64            `json:"duration_ns"`
 }
 
+// apiError is the structured error envelope every non-2xx response
+// carries: a stable machine-readable code, a human message, the HTTP
+// status (so the body is self-describing in logs), and the request ID
+// for correlation with the access log and /debug/trace.
 type apiError struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
+
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Status    int    `json:"status"`
+	RequestID uint64 `json:"request_id"`
+}
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for
+// "the client disconnected before we could answer". The client never
+// sees it; it keeps the access log and metrics honest about whose
+// fault the abort was.
+const statusClientClosedRequest = 499
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -218,20 +410,82 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// fail writes the structured error envelope. 503s carry Retry-After
+// so well-behaved clients back off instead of hammering the gate. If
+// response bytes are already on the wire (a panic after a partial
+// write), the envelope is skipped — the status line cannot change.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	if sw, ok := w.(*statusWriter); ok && sw.wrote {
+		return
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, apiError{Error: errorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Status:    status,
+		RequestID: requestID(r),
+	}})
 }
 
-// parseSliceRequest decodes either request form.
-func parseSliceRequest(r *http.Request) (*sliceRequest, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+// httpError carries a status and code from request parsing to fail.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, code, format string, args ...any) *httpError {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// failErr maps an error from the serving path onto the envelope:
+// parse-stage httpErrors keep their own status, a request deadline
+// answers 503 (the server ran out of time, not the client), a client
+// disconnect answers 499 (logged only — the client is gone), and
+// anything else at the given stage is a 422 program fault. Client
+// mistakes never map to 5xx here; the only 500s the daemon produces
+// are recovered panics and Explain failures.
+func (s *server) failErr(w http.ResponseWriter, r *http.Request, stage string, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		s.fail(w, r, he.status, he.code, "%s", he.msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, r, http.StatusServiceUnavailable, "timeout",
+			"%s: analysis deadline of %s exceeded", stage, s.cfg.Timeout)
+	case errors.Is(err, context.Canceled):
+		s.fail(w, r, statusClientClosedRequest, "client_closed",
+			"%s: canceled: client disconnected", stage)
+	default:
+		s.fail(w, r, http.StatusUnprocessableEntity, stage+"_failed", "%s: %v", stage, err)
+	}
+}
+
+// knownAlgos are the /slice algo values coreSlice dispatches.
+var knownAlgos = []string{"agrawal", "agrawal-lst", "structured", "conservative", "conventional"}
+
+// parseSliceRequest decodes either request form, enforcing the body
+// byte limit. Every error is a client fault with its own status:
+// oversized body 413, undecodable body or missing criterion 400,
+// unknown algorithm 400.
+func (s *server) parseSliceRequest(w http.ResponseWriter, r *http.Request) (*sliceRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
-		return nil, fmt.Errorf("reading body: %w", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, httpErrorf(http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds the %d byte limit", mbe.Limit)
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request", "reading body: %v", err)
 	}
 	req := &sliceRequest{}
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
 		if err := json.Unmarshal(body, req); err != nil {
-			return nil, fmt.Errorf("decoding JSON body: %w", err)
+			return nil, httpErrorf(http.StatusBadRequest, "bad_request", "decoding JSON body: %v", err)
 		}
 	} else {
 		req.Source = string(body)
@@ -243,7 +497,7 @@ func parseSliceRequest(r *http.Request) (*sliceRequest, error) {
 	if v := q.Get("line"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return nil, fmt.Errorf("bad line %q: %w", v, err)
+			return nil, httpErrorf(http.StatusBadRequest, "bad_request", "bad line %q: %v", v, err)
 		}
 		req.Line = n
 	}
@@ -255,18 +509,26 @@ func parseSliceRequest(r *http.Request) (*sliceRequest, error) {
 	}
 	switch {
 	case strings.TrimSpace(req.Source) == "":
-		return nil, fmt.Errorf("empty program source")
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request", "empty program source")
 	case req.Var == "":
-		return nil, fmt.Errorf("missing criterion variable (var)")
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request", "missing criterion variable (var)")
 	case req.Line <= 0:
-		return nil, fmt.Errorf("missing or non-positive criterion line (line)")
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request", "missing or non-positive criterion line (line)")
+	}
+	known := false
+	for _, a := range knownAlgos {
+		known = known || a == req.Algo
+	}
+	if !known {
+		return nil, httpErrorf(http.StatusBadRequest, "unknown_algorithm",
+			"unknown algorithm %q (want %s)", req.Algo, strings.Join(knownAlgos, ", "))
 	}
 	return req, nil
 }
 
 // coreSlice dispatches the algorithms the daemon serves: the paper's
 // three (Figures 7, 12, 13), the LST-driven Figure 7 variant, and the
-// conventional baseline.
+// conventional baseline. parseSliceRequest validated the name.
 func coreSlice(a *core.Analysis, algo string, c core.Criterion) (*core.Slice, error) {
 	switch algo {
 	case "agrawal":
@@ -280,14 +542,49 @@ func coreSlice(a *core.Analysis, algo string, c core.Criterion) (*core.Slice, er
 	case "conventional":
 		return a.Conventional(c)
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (want agrawal, agrawal-lst, structured, conservative or conventional)", algo)
+	return nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+// failpoint implements the X-Sliced-Fail test header (only when
+// cfg.Failpoints): "panic" panics inside the handler to exercise the
+// recovery middleware, "block" parks the request — holding its
+// admission slot — until the test closes s.unblock or the client
+// goes away. It reports whether the request was already answered.
+func (s *server) failpoint(w http.ResponseWriter, r *http.Request) (handled bool) {
+	if !s.cfg.Failpoints {
+		return false
+	}
+	switch v := r.Header.Get("X-Sliced-Fail"); v {
+	case "":
+		return false
+	case "panic":
+		panic("injected failure (X-Sliced-Fail: panic)")
+	case "block":
+		select {
+		case <-s.unblock:
+		case <-r.Context().Done():
+		}
+		return false
+	default:
+		s.fail(w, r, http.StatusBadRequest, "bad_request", "unknown failpoint %q", v)
+		return true
+	}
 }
 
 func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
-	req, err := parseSliceRequest(r)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+	if s.failpoint(w, r) {
 		return
+	}
+	req, err := s.parseSliceRequest(w, r)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
 	}
 	id := requestID(r)
 	tr := s.tr.ForRequest(id)
@@ -295,17 +592,22 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 
 	prog, err := lang.Parse(req.Source)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "parse: %v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err)
 		return
 	}
-	a, err := core.AnalyzeObserved(prog, s.reg, tr)
+	if n := len(lang.Statements(prog)); n > s.cfg.MaxStmts {
+		s.fail(w, r, http.StatusRequestEntityTooLarge, "program_too_large",
+			"program has %d statements, over the %d limit", n, s.cfg.MaxStmts)
+		return
+	}
+	a, err := core.AnalyzeObservedContext(ctx, prog, s.reg, tr)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "analyze: %v", err)
+		s.failErr(w, r, "analyze", err)
 		return
 	}
 	sl, err := coreSlice(a, req.Algo, core.Criterion{Var: req.Var, Line: req.Line})
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "slice: %v", err)
+		s.failErr(w, r, "slice", err)
 		return
 	}
 	resp := &sliceResponse{
@@ -323,7 +625,11 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("explain") == "1" {
 		p, err := sl.Explain()
 		if err != nil {
-			s.fail(w, http.StatusInternalServerError, "explain: %v", err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.failErr(w, r, "explain", err)
+				return
+			}
+			s.fail(w, r, http.StatusInternalServerError, "explain_failed", "explain: %v", err)
 			return
 		}
 		resp.Reasons = p.LineReasons()
@@ -343,7 +649,7 @@ func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("n"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			s.fail(w, http.StatusBadRequest, "bad n %q", v)
+			s.fail(w, r, http.StatusBadRequest, "bad_request", "bad n %q", v)
 			return
 		}
 		if n < len(events) {
@@ -359,17 +665,17 @@ func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	v := r.URL.Query().Get("id")
 	if v == "" {
-		s.fail(w, http.StatusBadRequest, "missing id parameter")
+		s.fail(w, r, http.StatusBadRequest, "bad_request", "missing id parameter")
 		return
 	}
 	id, err := strconv.ParseUint(v, 10, 64)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad id %q: %v", v, err)
+		s.fail(w, r, http.StatusBadRequest, "bad_request", "bad id %q: %v", v, err)
 		return
 	}
 	events := s.fr.RequestEvents(id)
 	if len(events) == 0 {
-		s.fail(w, http.StatusNotFound, "no buffered events for request %d (evicted or never traced)", id)
+		s.fail(w, r, http.StatusNotFound, "not_found", "no buffered events for request %d (evicted or never traced)", id)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -28,9 +28,23 @@ func fig5(t *testing.T) string {
 	return string(data)
 }
 
+// testConfig is the default daemon configuration for tests: a small
+// flight recorder and failpoints armed.
+func testConfig(flight int) config {
+	cfg := defaultConfig()
+	cfg.Flight = flight
+	cfg.Failpoints = true
+	return cfg
+}
+
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(1<<12, io.Discard)
+	return newTestServerConfig(t, testConfig(1<<12))
+}
+
+func newTestServerConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg, io.Discard)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -309,8 +323,8 @@ func TestSliceErrors(t *testing.T) {
 	if got := post("var=positives&line=14", "while ("); got != http.StatusUnprocessableEntity {
 		t.Errorf("parse error: status %d, want 422", got)
 	}
-	if got := post("var=positives&line=14&algo=magic", fig5(t)); got != http.StatusUnprocessableEntity {
-		t.Errorf("unknown algorithm: status %d, want 422", got)
+	if got := post("var=positives&line=14&algo=magic", fig5(t)); got != http.StatusBadRequest {
+		t.Errorf("unknown algorithm: status %d, want 400", got)
 	}
 	resp, err := http.Get(ts.URL + "/slice")
 	if err != nil {
@@ -370,7 +384,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(1<<10, io.Discard)
+	s := newServer(testConfig(1<<10), io.Discard)
 	done := make(chan error, 1)
 	go func() { done <- serveOn(ln, s) }()
 

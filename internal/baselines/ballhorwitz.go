@@ -85,7 +85,9 @@ func BallHorwitz(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
 	// switch enclosure) apply to every algorithm; see
 	// core.NormalizeSlice. Note the normalization closes over the
 	// *plain* PDG, matching the Figure 7 side of the equivalence.
-	a.NormalizeSlice(set)
+	if err := a.NormalizeSlice(set); err != nil {
+		return nil, err
+	}
 	return &core.Slice{
 		Analysis:  a,
 		Criterion: c,

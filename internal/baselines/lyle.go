@@ -42,7 +42,9 @@ func Lyle(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
 				continue
 			}
 			a.PDG.GrowClosure(set, j.ID)
-			a.NormalizeSlice(set)
+			if err := a.NormalizeSlice(set); err != nil {
+				return nil, err
+			}
 			s.JumpsAdded = append(s.JumpsAdded, j.ID)
 			changed = true
 		}

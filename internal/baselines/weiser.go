@@ -154,7 +154,9 @@ func Weiser(a *core.Analysis, c core.Criterion) (*core.Slice, error) {
 	// applies them (dummy entry predicate, conditional-jump
 	// adaptation, switch enclosure).
 	slice.Add(g.Entry.ID)
-	a.NormalizeSlice(slice)
+	if err := a.NormalizeSlice(slice); err != nil {
+		return nil, err
+	}
 
 	return &core.Slice{
 		Analysis:  a,

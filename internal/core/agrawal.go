@@ -76,22 +76,33 @@ func (a *Analysis) RepairJumps(set *bits.Set) (jumpsAdded []int, rules []JumpRul
 // additions — and the reported traversal count — are identical to a
 // full-preorder scan.
 func (a *Analysis) repairJumps(set *bits.Set, worklist []int, eng depEngine) (jumpsAdded []int, rules []JumpRule, traversals int, err error) {
+	examined := 0
 	for {
 		traversals++
 		a.m.traversals.Add(1)
 		a.tr.Traversal("fig7", traversals)
+		if err := a.checkCancel("fig7"); err != nil {
+			return nil, nil, traversals, err
+		}
 		changed := false
 		for _, v := range worklist {
 			if set.Has(v) {
 				continue
 			}
 			a.m.jumpsExamined.Add(1)
+			if examined++; examined%cancelCheckJumps == 0 {
+				if err := a.checkCancel("fig7"); err != nil {
+					return nil, nil, traversals, err
+				}
+			}
 			pd := a.nearestPostdomInSlice(v, set)
 			ls := a.nearestLexInSlice(v, set)
 			if pd == ls {
 				continue
 			}
-			a.addJumpWithClosure(set, v, eng)
+			if err := a.addJumpWithClosure(set, v, eng); err != nil {
+				return nil, nil, traversals, err
+			}
 			jumpsAdded = append(jumpsAdded, v)
 			rules = append(rules, JumpRule{NearestPD: pd, NearestLS: ls})
 			a.m.jumpsAdmitted.Add(1)
@@ -155,7 +166,9 @@ func (a *Analysis) recordSlice(algo string, set *bits.Set) {
 // transitive closure of its data and control dependences, keeping the
 // conditional-jump adaptation invariant (a predicate pulled in by the
 // closure brings its associated jump along — Figure 8's predicate 9).
-func (a *Analysis) addJumpWithClosure(set *bits.Set, v int, eng depEngine) {
-	eng.grow(set, v)
-	a.normalizeSlice(set, eng)
+func (a *Analysis) addJumpWithClosure(set *bits.Set, v int, eng depEngine) error {
+	if _, err := eng.grow(set, v); err != nil {
+		return err
+	}
+	return a.normalizeSlice(set, eng)
 }

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -133,6 +134,14 @@ type Analysis struct {
 	// the tracer, so the untraced hot path pays the same single-branch
 	// cost as the unrecorded one.
 	tr *obs.Tracer
+
+	// ctx is the request context the Analysis was built under (nil
+	// unless AnalyzeObservedContext attached a cancelable one), and
+	// cancelf is the pre-bound cancellation callback handed to the
+	// dependence-closure engines (nil when ctx is nil, which disables
+	// their checks entirely). See cancel.go.
+	ctx     context.Context
+	cancelf func() error
 }
 
 // coreMetrics is the Analysis's pre-resolved instrument set. All
@@ -153,6 +162,9 @@ type coreMetrics struct {
 	// count, Entry included) — the closure-size visibility the batch
 	// engine's memoization is judged by.
 	sliceNodes *obs.Histogram
+	// cancellations counts cooperative cancellations honoured: each
+	// time a canceled context aborted an analysis or slicing call.
+	cancellations *obs.Counter
 }
 
 // resolve pre-resolves the Analysis's instruments from its recorder.
@@ -162,6 +174,7 @@ func (m *coreMetrics) resolve(rec obs.Recorder) {
 	m.jumpsExamined = rec.Counter("core.jumps_examined")
 	m.jumpsAdmitted = rec.Counter("core.jumps_admitted")
 	m.sliceNodes = rec.Histogram("core.slice_nodes", obs.UnitCount)
+	m.cancellations = rec.Counter("core.cancellations")
 }
 
 // condJumpPair records a conditional jump statement: the predicate
@@ -197,6 +210,20 @@ func AnalyzeRecorded(prog *lang.Program, rec obs.Recorder) (*Analysis, error) {
 // activity and finished slices to the same tracer. A nil tracer means
 // no tracing — the metrics-only behaviour of AnalyzeRecorded.
 func AnalyzeObserved(prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Analysis, error) {
+	return AnalyzeObservedContext(context.Background(), prog, rec, tr)
+}
+
+// AnalyzeObservedContext is AnalyzeObserved bound to a request
+// context: the construction phases check ctx at every phase boundary,
+// and every slicing call on the returned Analysis — the Figure
+// 7/12/13 fixpoint loops, the dependence-closure engines, SliceAll —
+// keeps checking it cooperatively (see cancel.go for the cadences).
+// When ctx is canceled or its deadline expires, the in-flight call
+// journals a cancellation trace event, counts it under
+// core.cancellations, and returns an error wrapping ctx.Err(). A
+// context that can never be canceled (context.Background) disables
+// the checks.
+func AnalyzeObservedContext(ctx context.Context, prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Analysis, error) {
 	rec = obs.OrNop(rec)
 	// phase times one construction phase on both sinks: the metrics
 	// histogram and, when tracing, the event journal.
@@ -212,31 +239,47 @@ func AnalyzeObserved(prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Ana
 	if err != nil {
 		return nil, err
 	}
-	end = phase("phase.analyze.postdominators")
-	pdt := dom.PostDominators(g, g.Exit.ID)
-	end()
-	end = phase("phase.analyze.cdg")
-	cd := cdg.Build(g, pdt)
-	end()
-	end = phase("phase.analyze.dataflow")
-	rd := dataflow.Reach(g)
-	end()
 	a := &Analysis{
 		Prog: prog,
 		CFG:  g,
-		PDT:  pdt,
-		CDG:  cd,
-		RD:   rd,
 		rec:  rec,
 		tr:   tr,
 	}
 	a.m.resolve(rec)
-	end = phase("phase.analyze.pdg")
-	a.PDG = pdg.Build(g, cd, rd)
+	a.bindContext(ctx)
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
+	end = phase("phase.analyze.postdominators")
+	a.PDT = dom.PostDominators(g, g.Exit.ID)
 	end()
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
+	end = phase("phase.analyze.cdg")
+	a.CDG = cdg.Build(g, a.PDT)
+	end()
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
+	end = phase("phase.analyze.dataflow")
+	a.RD = dataflow.Reach(g)
+	end()
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
+	end = phase("phase.analyze.pdg")
+	a.PDG = pdg.Build(g, a.CDG, a.RD)
+	end()
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
 	end = phase("phase.analyze.lst")
 	a.LST = lst.Build(g)
 	end()
+	if err := a.checkCancel("analyze"); err != nil {
+		return nil, err
+	}
 	end = phase("phase.analyze.worklists")
 	a.live = make([]bool, len(g.Nodes))
 	for id := range g.Reachable() {

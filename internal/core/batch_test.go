@@ -30,7 +30,9 @@ func seedRepairJumps(a *Analysis, set *bits.Set) (jumpsAdded []int, traversals i
 				continue
 			}
 			a.PDG.GrowClosure(set, v)
-			a.normalizeSlice(set, bfsEngine{a.PDG})
+			if err := a.normalizeSlice(set, bfsEngine{p: a.PDG}); err != nil {
+				panic(err)
+			}
 			jumpsAdded = append(jumpsAdded, v)
 			changed = true
 		}

@@ -33,14 +33,19 @@ func (a *Analysis) conventionalWith(c Criterion, eng depEngine) (*Slice, error) 
 	if err != nil {
 		return nil, err
 	}
-	set := eng.backwardClosure(seeds)
+	set, err := eng.backwardClosure(seeds)
+	if err != nil {
+		return nil, err
+	}
 	// The dummy entry predicate (the paper's node 0) is in every
 	// slice by construction. The closure reaches it through any live
 	// statement's control dependence chain; seeding it explicitly
 	// also covers criteria in dead code, whose statements have no
 	// dependence path to anything.
 	set.Add(a.CFG.Entry.ID)
-	a.normalizeSlice(set, eng)
+	if err := a.normalizeSlice(set, eng); err != nil {
+		return nil, err
+	}
 	return &Slice{
 		Analysis:  a,
 		Criterion: c,
@@ -77,48 +82,59 @@ func (a *Analysis) conventionalWith(c Criterion, eng depEngine) (*Slice, error) 
 // Engines whose closures bake the invariants in as dependence edges
 // (the batch condensation) are already at the fixpoint, so the passes
 // are skipped outright.
-func (a *Analysis) normalizeSlice(set *bits.Set, eng depEngine) {
+func (a *Analysis) normalizeSlice(set *bits.Set, eng depEngine) error {
 	if eng.closuresNormalized() {
-		return
+		return nil
 	}
 	for {
-		changed := a.condJumpAdaptationOnce(set, eng)
-		if a.enforceSwitchEnclosureOnce(set, eng) {
-			changed = true
+		if err := a.checkCancel("normalize"); err != nil {
+			return err
 		}
-		if !changed {
-			return
+		changed, err := a.condJumpAdaptationOnce(set, eng)
+		if err != nil {
+			return err
+		}
+		swChanged, err := a.enforceSwitchEnclosureOnce(set, eng)
+		if err != nil {
+			return err
+		}
+		if !changed && !swChanged {
+			return nil
 		}
 	}
 }
 
 // condJumpAdaptationOnce performs one pass of invariant 1, reporting
 // whether anything was added.
-func (a *Analysis) condJumpAdaptationOnce(set *bits.Set, eng depEngine) bool {
+func (a *Analysis) condJumpAdaptationOnce(set *bits.Set, eng depEngine) (bool, error) {
 	changed := false
 	for _, cj := range a.condJumps {
 		if set.Has(cj.pred) && !set.Has(cj.jump) {
-			eng.grow(set, cj.jump)
+			if _, err := eng.grow(set, cj.jump); err != nil {
+				return false, err
+			}
 			changed = true
 		}
 	}
-	return changed
+	return changed, nil
 }
 
 // enforceSwitchEnclosureOnce performs one pass of invariant 2,
 // reporting whether anything was added.
-func (a *Analysis) enforceSwitchEnclosureOnce(set *bits.Set, eng depEngine) bool {
+func (a *Analysis) enforceSwitchEnclosureOnce(set *bits.Set, eng depEngine) (bool, error) {
 	changed := false
 	for _, id := range a.switchNodes {
 		if !set.Has(id) {
 			continue
 		}
 		if sw := a.enclosingSwitch[id]; !set.Has(sw) {
-			eng.grow(set, sw)
+			if _, err := eng.grow(set, sw); err != nil {
+				return false, err
+			}
 			changed = true
 		}
 	}
-	return changed
+	return changed, nil
 }
 
 // conditionalJumpOf returns the jump node of a conditional jump
@@ -154,9 +170,10 @@ func (a *Analysis) RetargetLabels(set *bits.Set) map[string]int {
 
 // NormalizeSlice exposes the slice invariants (conditional-jump
 // adaptation and switch enclosure) to baseline algorithms that build
-// their own slice sets.
-func (a *Analysis) NormalizeSlice(set *bits.Set) {
-	a.normalizeSlice(set, a.engine())
+// their own slice sets. The error is non-nil only when the Analysis's
+// context was canceled mid-normalization.
+func (a *Analysis) NormalizeSlice(set *bits.Set) error {
+	return a.normalizeSlice(set, a.engine())
 }
 
 // retargetLabels applies the paper's final step: "For each goto

@@ -17,32 +17,51 @@ import (
 // The two are interchangeable by construction — both compute the same
 // least fixpoint over the same dependence relation — and the batch
 // property tests assert it.
+//
+// Both engines carry the Analysis's cancellation callback (nil unless
+// the Analysis was built with a cancelable context), and their
+// closure walks consult it at a bounded cadence; a cancellation
+// surfaces as the error return, which every caller propagates.
 type depEngine interface {
 	// backwardClosure returns the closure of the seeds as a fresh set.
-	backwardClosure(seeds []int) *bits.Set
+	backwardClosure(seeds []int) (*bits.Set, error)
 	// grow unions seed's closure into set, reporting whether set grew.
-	grow(set *bits.Set, seed int) bool
+	grow(set *bits.Set, seed int) (bool, error)
 	// closuresNormalized reports whether closures from this engine
 	// already satisfy the slice invariants (conditional-jump
 	// adaptation and switch enclosure), making normalizeSlice a no-op.
 	closuresNormalized() bool
 }
 
-type bfsEngine struct{ p *pdg.Graph }
+type bfsEngine struct {
+	p      *pdg.Graph
+	cancel func() error
+}
 
-func (e bfsEngine) backwardClosure(seeds []int) *bits.Set { return e.p.BackwardClosure(seeds) }
-func (e bfsEngine) grow(set *bits.Set, seed int) bool     { return e.p.GrowClosure(set, seed) }
-func (e bfsEngine) closuresNormalized() bool              { return false }
+func (e bfsEngine) backwardClosure(seeds []int) (*bits.Set, error) {
+	return e.p.BackwardClosureCancel(seeds, e.cancel)
+}
+func (e bfsEngine) grow(set *bits.Set, seed int) (bool, error) {
+	return e.p.GrowClosureCancel(set, seed, e.cancel)
+}
+func (e bfsEngine) closuresNormalized() bool { return false }
 
-type condEngine struct{ c *pdg.Condensation }
+type condEngine struct {
+	c      *pdg.Condensation
+	cancel func() error
+}
 
-func (e condEngine) backwardClosure(seeds []int) *bits.Set { return e.c.BackwardClosure(seeds) }
-func (e condEngine) grow(set *bits.Set, seed int) bool     { return e.c.GrowClosure(set, seed) }
-func (e condEngine) closuresNormalized() bool              { return true }
+func (e condEngine) backwardClosure(seeds []int) (*bits.Set, error) {
+	return e.c.BackwardClosureCancel(seeds, e.cancel)
+}
+func (e condEngine) grow(set *bits.Set, seed int) (bool, error) {
+	return e.c.GrowClosureCancel(set, seed, e.cancel)
+}
+func (e condEngine) closuresNormalized() bool { return true }
 
 // engine returns the per-call BFS engine, the default for the
 // single-criterion entry points.
-func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG} }
+func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG, a.cancelf} }
 
 // batchEngine returns the condensation-backed engine, building the
 // condensation on first use and caching it on the Analysis so every
@@ -89,5 +108,5 @@ func (a *Analysis) batchEngine() depEngine {
 			a.rec.Counter("pdg.closure_builds"))
 		a.batchCond.Trace(a.tr)
 	})
-	return condEngine{a.batchCond}
+	return condEngine{a.batchCond, a.cancelf}
 }

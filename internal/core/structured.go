@@ -48,10 +48,14 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 		Algorithm: "agrawal-structured",
 		Nodes:     set,
 	}
+	examined := 0
 	for {
 		s.Traversals++
 		a.m.traversals.Add(1)
 		a.tr.Traversal("fig12", s.Traversals)
+		if err := a.checkCancel("fig12"); err != nil {
+			return nil, err
+		}
 		changed := false
 		for _, v := range a.jumpsPDT {
 			if set.Has(v) {
@@ -61,6 +65,11 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 				continue
 			}
 			a.m.jumpsExamined.Add(1)
+			if examined++; examined%cancelCheckJumps == 0 {
+				if err := a.checkCancel("fig12"); err != nil {
+					return nil, err
+				}
+			}
 			pd := a.nearestPostdomInSlice(v, set)
 			ls := a.nearestLexInSlice(v, set)
 			if pd == ls {
@@ -74,7 +83,9 @@ func (a *Analysis) AgrawalStructured(c Criterion) (*Slice, error) {
 			// data dependence the property's argument never mentions)
 			// and widened (switch fall-through) candidates whose
 			// guards are outside the slice.
-			a.addJumpWithClosure(set, v, eng)
+			if err := a.addJumpWithClosure(set, v, eng); err != nil {
+				return nil, err
+			}
 			s.JumpsAdded = append(s.JumpsAdded, v)
 			s.JumpRules = append(s.JumpRules, JumpRule{NearestPD: pd, NearestLS: ls})
 			a.m.jumpsAdmitted.Add(1)
@@ -121,18 +132,29 @@ func (a *Analysis) AgrawalConservative(c Criterion) (*Slice, error) {
 	// AgrawalStructured; the on-the-fly reading of the paper's Figure
 	// 13 — detect jumps while the conventional closure grows — has
 	// the same effect).
+	examined := 0
 	for pass, changed := 0, true; changed; {
 		changed = false
 		pass++
 		a.m.traversals.Add(1)
 		a.tr.Traversal("fig13", pass)
+		if err := a.checkCancel("fig13"); err != nil {
+			return nil, err
+		}
 		for _, j := range a.CFG.Jumps() {
 			if set.Has(j.ID) || !a.live[j.ID] {
 				continue
 			}
 			a.m.jumpsExamined.Add(1)
+			if examined++; examined%cancelCheckJumps == 0 {
+				if err := a.checkCancel("fig13"); err != nil {
+					return nil, err
+				}
+			}
 			if a.directCandidate(j.ID, set) || a.switchCandidate(j.ID, set) {
-				a.addJumpWithClosure(set, j.ID, eng)
+				if err := a.addJumpWithClosure(set, j.ID, eng); err != nil {
+					return nil, err
+				}
 				s.JumpsAdded = append(s.JumpsAdded, j.ID)
 				a.m.jumpsAdmitted.Add(1)
 				// Figure 13 admits by the candidate rule, not the

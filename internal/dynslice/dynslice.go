@@ -185,7 +185,9 @@ func Slice(a *core.Analysis, c core.Criterion, opts Options) (*core.Slice, error
 // re-association.
 func finish(a *core.Analysis, c core.Criterion, set *bits.Set) (*core.Slice, error) {
 	set.Add(a.CFG.Entry.ID)
-	a.NormalizeSlice(set)
+	if err := a.NormalizeSlice(set); err != nil {
+		return nil, err
+	}
 	jumps, rules, traversals, err := a.RepairJumps(set)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@
 package exps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -51,6 +52,21 @@ type Options struct {
 	// workers share it; the ring's writers are lock-free, so tracing
 	// does not serialize the pool.
 	Tracer *obs.Tracer
+	// Context, when non-nil, cancels the run cooperatively: the
+	// worker pool stops dispatching new seeds once it is canceled,
+	// and each in-flight seed's analysis and slicing pipeline checks
+	// it at phase and fixpoint boundaries (see internal/core), so a
+	// long corpus sweep aborts promptly with an error wrapping
+	// ctx.Err(). Nil means no cancellation.
+	Context context.Context
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 // DefaultParallel is the worker pool size used when the caller does
@@ -202,10 +218,11 @@ type seedCase struct {
 }
 
 // analyzeSeed builds the per-seed case every experiment starts from,
-// recording the analysis phases on rec (nil for none).
-func analyzeSeed(gen func(int64) *lang.Program, seed int64, rec obs.Recorder, tr *obs.Tracer) (seedCase, error) {
+// recording the analysis phases on rec (nil for none). The context
+// cancels the analysis cooperatively at phase boundaries.
+func analyzeSeed(ctx context.Context, gen func(int64) *lang.Program, seed int64, rec obs.Recorder, tr *obs.Tracer) (seedCase, error) {
 	p := gen(seed)
-	a, err := core.AnalyzeObserved(p, rec, tr)
+	a, err := core.AnalyzeObservedContext(ctx, p, rec, tr)
 	if err != nil {
 		return seedCase{}, fmt.Errorf("seed %d: %w", seed, err)
 	}
@@ -223,11 +240,16 @@ func analyzeSeed(gen func(int64) *lang.Program, seed int64, rec obs.Recorder, tr
 // runSeeds evaluates fn for seeds 0..n-1 over a pool of parallel
 // workers and returns the results in seed order. With parallel <= 1
 // it runs serially. The first error (by seed order, for determinism)
-// aborts the run.
-func runSeeds[T any](n, parallel int, fn func(seed int64) (T, error)) ([]T, error) {
+// aborts the run. A canceled ctx stops dispatching further seeds —
+// in-flight seeds abort through their own cooperative checks — and
+// the run reports the cancellation.
+func runSeeds[T any](ctx context.Context, n, parallel int, fn func(seed int64) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if parallel <= 1 || n <= 1 {
 		for s := 0; s < n; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exps: run canceled before seed %d: %w", s, err)
+			}
 			r, err := fn(int64(s))
 			if err != nil {
 				return nil, err
@@ -251,8 +273,13 @@ func runSeeds[T any](n, parallel int, fn func(seed int64) (T, error)) ([]T, erro
 			}
 		}()
 	}
+dispatch:
 	for s := 0; s < n; s++ {
-		next <- s
+		select {
+		case next <- s:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -261,6 +288,9 @@ func runSeeds[T any](n, parallel int, fn func(seed int64) (T, error)) ([]T, erro
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exps: run canceled: %w", err)
+	}
 	return out, nil
 }
 
@@ -268,12 +298,13 @@ func runSeeds[T any](n, parallel int, fn func(seed int64) (T, error)) ([]T, erro
 // slice, per algorithm and corpus.
 func Precision(o Options) ([]PrecisionRow, error) {
 	algos := Algorithms()
+	ctx := o.ctx()
 	type totals struct{ stmts, jumps, cases int }
 	var rows []PrecisionRow
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
-		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
+		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
+			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -371,12 +402,13 @@ func sound(orig *lang.Program, s *core.Slice) (bool, error) {
 // reproduces the original observations.
 func Soundness(o Options) ([]SoundnessRow, error) {
 	algos := Algorithms()
+	ctx := o.ctx()
 	type totals struct{ ok, cases int }
 	var rows []SoundnessRow
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
-		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
+		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
+			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -426,11 +458,12 @@ func Soundness(o Options) ([]SoundnessRow, error) {
 // Traversals computes E4: the distribution of Figure 7 traversal
 // counts per corpus.
 func Traversals(o Options) ([]TraversalRow, error) {
+	ctx := o.ctx()
 	var rows []TraversalRow
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
-		parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
-			sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
+		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
+			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
 			if err != nil {
 				return nil, err
 			}
@@ -480,14 +513,15 @@ var DynamicProfiles = []struct {
 // Dynamic computes E6: dynamic slice size as a fraction of the static
 // (Figure 7) slice, per corpus and input profile.
 func Dynamic(o Options) ([]DynamicRow, error) {
+	ctx := o.ctx()
 	var rows []DynamicRow
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		for _, prof := range DynamicProfiles {
 			prof := prof
 			type totals struct{ dyn, stat, cases int }
-			parts, err := runSeeds(o.Seeds, o.Parallel, func(seed int64) (totals, error) {
-				sc, err := analyzeSeed(gen, seed, o.Recorder, o.Tracer)
+			parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (totals, error) {
+				sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
 				if err != nil {
 					return totals{}, err
 				}
@@ -550,11 +584,12 @@ func Timing(o Options) ([]TimingRow, error) {
 		cells = append(cells, cell{batch, ci})
 	}
 	const reps = 50
-	_, err := runSeeds(len(cells), o.Parallel, func(i int64) (struct{}, error) {
+	ctx := o.ctx()
+	_, err := runSeeds(ctx, len(cells), o.Parallel, func(i int64) (struct{}, error) {
 		c := cells[i]
 		size := TimingSizes[c.col]
 		p := progen.Structured(progen.Config{Seed: 1, Stmts: size})
-		a, err := core.AnalyzeObserved(p, o.Recorder, o.Tracer)
+		a, err := core.AnalyzeObservedContext(ctx, p, o.Recorder, o.Tracer)
 		if err != nil {
 			return struct{}{}, err
 		}

@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and recursive-descent parser with
+// arbitrary source. The invariants: Parse never panics or overflows
+// the stack (the maxNestingDepth guard), a successful parse
+// pretty-prints to source that parses again, and every AST walk over
+// the result terminates.
+func FuzzParse(f *testing.F) {
+	files, _ := filepath.Glob("../../testdata/*.mc")
+	for _, fn := range files {
+		if data, err := os.ReadFile(fn); err == nil {
+			f.Add(string(data))
+		}
+	}
+	for _, s := range []string{
+		"",
+		"x = 1;",
+		"a: b: c: x = 1; goto a;",
+		"while (x < 3) { if (x) break; else continue; }",
+		"switch (x) { case 1, 2: y = 1; break; default: return y; }",
+		"read(x); write(f(x, y(1)));",
+		"x = ((((1))));",
+		"x = !!-!-1;",
+		strings.Repeat("{", 64) + strings.Repeat("}", 64),
+		"if (1) if (1) if (1) x = 1; else y = 2;",
+		"x = 9999999999999999999999999999;",
+		"// comment only",
+		"x = 1 % 0;",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+		// The printer and a re-parse must accept anything Parse
+		// accepted: slices are materialized through exactly this
+		// round-trip.
+		out := Format(p, PrintOptions{})
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("re-parse of formatted output failed: %v\ninput: %q\nformatted: %q", err, src, out)
+		}
+		// Walks must terminate; Statements filters wrappers, empties
+		// and blocks out of the walk, never adds.
+		n := 0
+		WalkProgram(p, func(Stmt) { n++ })
+		stmts := Statements(p)
+		if len(stmts) > n {
+			t.Fatalf("Statements len %d > WalkProgram count %d", len(stmts), n)
+		}
+		for _, s := range stmts {
+			switch s.(type) {
+			case *LabeledStmt, *EmptyStmt, *BlockStmt:
+				t.Fatalf("Statements returned a wrapper/empty/block: %T", s)
+			}
+		}
+	})
+}
+
+// FuzzTokenize pins the lexer alone: never panics, and on success
+// every token has a sane position.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"", "x = 1; // c\n", "@#$%", "x <= != ! =", "\x00\xff"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("token %v has non-positive position %+v", tok, tok.Pos)
+			}
+		}
+	})
+}

@@ -5,11 +5,36 @@ import "fmt"
 // Parser is a recursive-descent parser for the language. Use Parse or
 // MustParse rather than constructing one directly.
 type Parser struct {
-	lx   *Lexer
-	buf  []Token // lookahead buffer
-	err  *SyntaxError
-	prog *Program
+	lx    *Lexer
+	buf   []Token // lookahead buffer
+	err   *SyntaxError
+	prog  *Program
+	depth int // current nesting depth, bounded by maxNestingDepth
 }
+
+// maxNestingDepth bounds statement and expression nesting. The parser
+// is recursive-descent, so an adversarial input like "{{{{..." or
+// "!!!!..." otherwise converts input length into stack depth and
+// overflows the goroutine stack (a crash no recover() can catch).
+// Every downstream traversal — validation, AST walks, CFG and
+// dependence construction — recurses along the same nesting, so this
+// single bound protects the whole pipeline. One thousand levels is
+// far beyond any human-written or generated program in the corpora.
+const maxNestingDepth = 1000
+
+// enter counts one nesting level, reporting whether parsing may
+// recurse further; leave undoes it. On overflow it records a syntax
+// error, which makes every parsing loop terminate promptly.
+func (p *Parser) enter(pos Pos) bool {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		p.errorf(pos, "nesting too deep (more than %d levels)", maxNestingDepth)
+		return false
+	}
+	return true
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses source text into a Program. It returns the first
 // syntax or semantic error encountered (duplicate label, goto to an
@@ -85,6 +110,10 @@ func (p *Parser) parseStmt() Stmt {
 		// error.
 		return &EmptyStmt{P: t.Pos}
 	}
+	if !p.enter(t.Pos) {
+		return &EmptyStmt{P: t.Pos}
+	}
+	defer p.leave()
 	switch t.Kind {
 	case IDENT:
 		if p.peekN(1).Kind == Colon {
@@ -335,6 +364,13 @@ func (p *Parser) parseMul() Expr {
 }
 
 func (p *Parser) parseUnary() Expr {
+	// parseUnary is on every cycle of the expression grammar — unary
+	// operators directly, parenthesized and call-argument expressions
+	// through parsePrimary — so counting depth here bounds them all.
+	if !p.enter(p.peek().Pos) {
+		return &IntLit{P: p.peek().Pos}
+	}
+	defer p.leave()
 	switch p.peek().Kind {
 	case Not:
 		t := p.next()

@@ -49,6 +49,11 @@ const (
 	KindCacheBuild
 	// KindSlice is a finished slice; N is its node count.
 	KindSlice
+	// KindCancel is a cooperative cancellation being honoured: the
+	// analysis pipeline observed its context's cancellation and
+	// abandoned the request. Name is the site that noticed ("analyze",
+	// "fig7", "closure", ...).
+	KindCancel
 )
 
 // String names the kind as it appears in JSONL exports.
@@ -68,6 +73,8 @@ func (k EventKind) String() string {
 		return "cache-build"
 	case KindSlice:
 		return "slice"
+	case KindCancel:
+		return "cancel"
 	}
 	return "unknown"
 }
@@ -284,6 +291,16 @@ func (t *Tracer) CacheBuild(comp int) {
 		return
 	}
 	t.emit(KindCacheBuild, "pdg.closure", comp, -1, -1, 0)
+}
+
+// Canceled publishes a cancellation event: the instrumented pipeline
+// observed its context's cancellation at the named site and is
+// abandoning the work. No-op on nil.
+func (t *Tracer) Canceled(where string) {
+	if t == nil {
+		return
+	}
+	t.emit(KindCancel, where, -1, -1, -1, 0)
 }
 
 // SliceDone publishes a finished slice of nodes nodes. No-op on nil.

@@ -181,13 +181,18 @@ func (c *Condensation) NumComponents() int { return len(c.comps) }
 // Component returns the component index of node n.
 func (c *Condensation) Component(n int) int { return c.comp[n] }
 
+// cancelCheckComps is the closure-fill cadence of cooperative
+// cancellation: the ascending component sweep consults its cancel
+// callback once per this many component builds.
+const cancelCheckComps = 64
+
 // ClosureOf returns the backward dependence closure of node n — the
 // exact set BackwardClosure([]int{n}) computes — as a memoized bitset.
 // The returned set is shared and must not be modified; union it into a
 // caller-owned set instead. Safe for concurrent use.
 func (c *Condensation) ClosureOf(n int) *bits.Set {
 	c.mu.Lock()
-	s := c.ensure(c.comp[n])
+	s, _ := c.ensure(c.comp[n], nil)
 	c.mu.Unlock()
 	return s
 }
@@ -199,17 +204,31 @@ func (c *Condensation) ClosureOf(n int) *bits.Set {
 // the Condensation each component's closure is built exactly once, so
 // total fill cost is O(components × words) plus the one-off member
 // inserts. Caller holds c.mu.
-func (c *Condensation) ensure(target int) *bits.Set {
+//
+// cancel, when non-nil, is consulted every cancelCheckComps component
+// builds; a non-nil error abandons the sweep. Components already
+// built stay memoized — they are complete for themselves — so a later
+// request resumes where the canceled one stopped.
+func (c *Condensation) ensure(target int, cancel func() error) (*bits.Set, error) {
 	c.requests.Add(1)
 	if s := c.closure[target]; s != nil {
 		c.hits.Add(1)
 		c.tracer.CacheHit(target)
-		return s
+		return s, nil
 	}
 	n := len(c.comp)
+	budget := cancelCheckComps
 	for i := 0; i <= target; i++ {
 		if c.closure[i] != nil {
 			continue
+		}
+		if cancel != nil {
+			if budget--; budget <= 0 {
+				budget = cancelCheckComps
+				if err := cancel(); err != nil {
+					return nil, err
+				}
+			}
 		}
 		s := bits.New(n)
 		for _, v := range c.comps[i] {
@@ -222,20 +241,32 @@ func (c *Condensation) ensure(target int) *bits.Set {
 		c.builds.Add(1)
 		c.tracer.CacheBuild(i)
 	}
-	return c.closure[target]
+	return c.closure[target], nil
 }
 
 // BackwardClosure is the condensation-backed equivalent of
 // Graph.BackwardClosure: the union of the memoized component closures
 // of the seeds. Word-parallel, and O(words) per seed once warm.
 func (c *Condensation) BackwardClosure(seeds []int) *bits.Set {
+	out, _ := c.BackwardClosureCancel(seeds, nil)
+	return out
+}
+
+// BackwardClosureCancel is BackwardClosure with cooperative
+// cancellation: the closure fill consults cancel (nil disables the
+// checks) and abandons the request on a non-nil error, returning it.
+func (c *Condensation) BackwardClosureCancel(seeds []int, cancel func() error) (*bits.Set, error) {
 	out := bits.New(len(c.comp))
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, s := range seeds {
-		out.UnionWith(c.ensure(c.comp[s]))
+		cs, err := c.ensure(c.comp[s], cancel)
+		if err != nil {
+			return nil, err
+		}
+		out.UnionWith(cs)
 	}
-	c.mu.Unlock()
-	return out
+	return out, nil
 }
 
 // GrowClosure is the condensation-backed equivalent of
@@ -243,4 +274,16 @@ func (c *Condensation) BackwardClosure(seeds []int) *bits.Set {
 // reports whether set changed.
 func (c *Condensation) GrowClosure(set *bits.Set, seed int) bool {
 	return set.UnionWith(c.ClosureOf(seed))
+}
+
+// GrowClosureCancel is GrowClosure with cooperative cancellation (see
+// BackwardClosureCancel).
+func (c *Condensation) GrowClosureCancel(set *bits.Set, seed int, cancel func() error) (bool, error) {
+	c.mu.Lock()
+	cs, err := c.ensure(c.comp[seed], cancel)
+	c.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return set.UnionWith(cs), nil
 }

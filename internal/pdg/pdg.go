@@ -71,11 +71,26 @@ func (p *Graph) ControlDeps(n int) []int { return p.CDG.ParentIDs(n) }
 // The slice is shared; callers must not modify it.
 func (p *Graph) Deps(n int) []int { return p.deps[n] }
 
+// cancelCheckNodes is the BFS cadence of cooperative cancellation:
+// the closure walks consult their cancel callback once per this many
+// node pops, keeping the per-pop cost of an attached context to one
+// counter decrement.
+const cancelCheckNodes = 1024
+
 // BackwardClosure returns the set of nodes reachable from the seeds by
 // following dependence edges backwards (the transitive closure of
 // data and control dependence — the conventional slicing engine). The
 // seeds themselves are included.
 func (p *Graph) BackwardClosure(seeds []int) *bits.Set {
+	out, _ := p.BackwardClosureCancel(seeds, nil)
+	return out
+}
+
+// BackwardClosureCancel is BackwardClosure with cooperative
+// cancellation: every cancelCheckNodes node visits the walk calls
+// cancel (nil disables the checks) and abandons the closure on a
+// non-nil error, returning it.
+func (p *Graph) BackwardClosureCancel(seeds []int, cancel func() error) (*bits.Set, error) {
 	out := bits.New(len(p.CFG.Nodes))
 	var stack []int
 	for _, s := range seeds {
@@ -84,17 +99,10 @@ func (p *Graph) BackwardClosure(seeds []int) *bits.Set {
 			stack = append(stack, s)
 		}
 	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, d := range p.deps[n] {
-			if !out.Has(d) {
-				out.Add(d)
-				stack = append(stack, d)
-			}
-		}
+	if err := p.drain(out, stack, cancel); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // GrowClosure extends an existing slice set in place with the backward
@@ -102,23 +110,45 @@ func (p *Graph) BackwardClosure(seeds []int) *bits.Set {
 // Agrawal's Figure 7 uses this when a jump statement is added to the
 // slice: "Add the transitive closure of the dependence of J to Slice".
 func (p *Graph) GrowClosure(set *bits.Set, seed int) bool {
-	changed := false
-	var stack []int
-	if !set.Has(seed) {
-		set.Add(seed)
-		stack = append(stack, seed)
-		changed = true
+	changed, _ := p.GrowClosureCancel(set, seed, nil)
+	return changed
+}
+
+// GrowClosureCancel is GrowClosure with cooperative cancellation (see
+// BackwardClosureCancel). On cancellation the set holds a partial
+// closure and must be discarded by the caller.
+func (p *Graph) GrowClosureCancel(set *bits.Set, seed int, cancel func() error) (bool, error) {
+	if set.Has(seed) {
+		return false, nil
 	}
+	set.Add(seed)
+	if err := p.drain(set, []int{seed}, cancel); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// drain runs the backward BFS from the stacked nodes into set,
+// consulting cancel every cancelCheckNodes pops.
+func (p *Graph) drain(set *bits.Set, stack []int, cancel func() error) error {
+	budget := cancelCheckNodes
 	for len(stack) > 0 {
+		if cancel != nil {
+			if budget--; budget <= 0 {
+				budget = cancelCheckNodes
+				if err := cancel(); err != nil {
+					return err
+				}
+			}
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, d := range p.deps[n] {
 			if !set.Has(d) {
 				set.Add(d)
 				stack = append(stack, d)
-				changed = true
 			}
 		}
 	}
-	return changed
+	return nil
 }
