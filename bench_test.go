@@ -10,6 +10,7 @@
 package jumpslice_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,9 +21,11 @@ import (
 	"jumpslice/internal/dom"
 	"jumpslice/internal/dynslice"
 	"jumpslice/internal/exps"
+	"jumpslice/internal/lang"
 	"jumpslice/internal/paper"
 	"jumpslice/internal/progen"
 	"jumpslice/internal/restructure"
+	"jumpslice/internal/slicecache"
 )
 
 // benchFigure runs the Figure 7 algorithm on a corpus figure,
@@ -236,6 +239,75 @@ func BenchmarkSliceAll(b *testing.B) {
 				if _, err := tk.a.SliceAll(tk.crits); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}
+	})
+}
+
+// BenchmarkCachedSlice measures the analysis cache's hit path against
+// rebuilding the pipeline from source: each iteration resolves the
+// same program text to an analysis (cached: content-hash lookup +
+// Rebind view; uncached: parse + full analysis) and computes one
+// Agrawal slice. The acceptance target is cached ≥ 5× faster; the
+// slices are asserted identical before timing.
+func BenchmarkCachedSlice(b *testing.B) {
+	p := progen.Structured(progen.Config{Seed: 7, Stmts: 400})
+	src := lang.Format(p, lang.PrintOptions{})
+	crits := progen.WriteCriteria(p)
+	c := core.Criterion{Var: crits[len(crits)-1].Var, Line: crits[len(crits)-1].Line}
+	ctx := context.Background()
+	build := func(bctx context.Context) (*core.Analysis, error) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		built, err := core.AnalyzeObservedContext(bctx, prog, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return built.Rebind(nil, nil, nil), nil
+	}
+
+	cache := slicecache.New(slicecache.Options{})
+	warm, _, err := cache.Get(ctx, src, build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := warm.Agrawal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold, err := build(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := cold.Agrawal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !ws.Nodes.Equal(cs.Nodes) {
+		b.Fatal("cached and uncached slices differ")
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := build(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Agrawal(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, _, err := cache.Get(ctx, src, build)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Rebind(ctx, nil, nil).Agrawal(c); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -20,8 +20,16 @@
 //
 // Benchmark names are normalized by stripping the trailing GOMAXPROCS
 // suffix (BenchmarkX-8 → BenchmarkX) so reports compare across
-// machines. Baselines are regenerated by running benchgate with
-// -out pointed at the baseline file and no -baseline.
+// machines.
+//
+// Baselines are maintained with -update: after the gate passes, the
+// baseline file is rewritten with the merged report of the current
+// run, so accepting a new performance floor is one flag on a green
+// run instead of a hand-edited JSON file. A failing gate refuses to
+// update — a regression cannot ratify itself. When the baseline file
+// does not exist yet, -update bootstraps it from the current run.
+// (Running with -out pointed at the baseline and no -baseline still
+// works, but skips the gate entirely.)
 package main
 
 import (
@@ -87,11 +95,15 @@ func run(args []string, out io.Writer) error {
 	baselinePath := fs.String("baseline", "", "baseline report to gate against (optional)")
 	outPath := fs.String("out", "", "write the merged report here (optional)")
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when PR ns/op exceeds baseline by this factor")
+	update := fs.Bool("update", false, "rewrite -baseline from this run after the gate passes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchPath == "" {
 		return fmt.Errorf("-bench is required")
+	}
+	if *update && *baselinePath == "" {
+		return fmt.Errorf("-update requires -baseline")
 	}
 
 	f, err := os.Open(*benchPath)
@@ -121,11 +133,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *outPath != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeReport(*outPath, report); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s (%d benchmarks, %d phases)\n", *outPath, len(report.Benchmarks), len(report.Phases))
@@ -133,25 +141,49 @@ func run(args []string, out io.Writer) error {
 
 	if *baselinePath != "" {
 		data, err := os.ReadFile(*baselinePath)
-		if err != nil {
+		switch {
+		case err == nil:
+			var baseline Report
+			if err := json.Unmarshal(data, &baseline); err != nil {
+				return fmt.Errorf("%s: %w", *baselinePath, err)
+			}
+			regressions, compared := Gate(baseline.Benchmarks, report.Benchmarks, *maxRatio)
+			fmt.Fprintf(out, "gate: %d benchmarks compared against %s (max ratio %.2fx)\n",
+				compared, *baselinePath, *maxRatio)
+			if len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(out, "REGRESSION", r)
+				}
+				// A failing run must not ratify its own regression, so
+				// -update is ignored on this path.
+				return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", len(regressions), *maxRatio)
+			}
+			fmt.Fprintln(out, "gate: ok")
+		case *update && os.IsNotExist(err):
+			// Bootstrap: no baseline yet, the current run becomes it.
+			fmt.Fprintf(out, "gate: no baseline at %s, bootstrapping\n", *baselinePath)
+		default:
 			return err
 		}
-		var baseline Report
-		if err := json.Unmarshal(data, &baseline); err != nil {
-			return fmt.Errorf("%s: %w", *baselinePath, err)
-		}
-		regressions, compared := Gate(baseline.Benchmarks, report.Benchmarks, *maxRatio)
-		fmt.Fprintf(out, "gate: %d benchmarks compared against %s (max ratio %.2fx)\n",
-			compared, *baselinePath, *maxRatio)
-		if len(regressions) > 0 {
-			for _, r := range regressions {
-				fmt.Fprintln(out, "REGRESSION", r)
+		if *update {
+			if err := writeReport(*baselinePath, report); err != nil {
+				return err
 			}
-			return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", len(regressions), *maxRatio)
+			fmt.Fprintf(out, "updated %s (%d benchmarks, %d phases)\n",
+				*baselinePath, len(report.Benchmarks), len(report.Phases))
 		}
-		fmt.Fprintln(out, "gate: ok")
 	}
 	return nil
+}
+
+// writeReport renders a report as indented JSON, the format baselines
+// and -out artifacts share.
+func writeReport(path string, report *Report) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchLine matches a `go test -bench` result line:

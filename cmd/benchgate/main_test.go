@@ -139,6 +139,77 @@ func TestEndToEndGate(t *testing.T) {
 	}
 }
 
+// TestUpdateBaseline covers the -update lifecycle: bootstrap when no
+// baseline exists, rewrite after a passing gate, and refusal to ratify
+// a failing run.
+func TestUpdateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "baseline.json")
+
+	readBaseline := func() Report {
+		t.Helper()
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// Bootstrap: the baseline file does not exist yet.
+	var sb strings.Builder
+	if err := run([]string{"-bench", benchPath, "-baseline", basePath, "-update"}, &sb); err != nil {
+		t.Fatalf("bootstrap failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "bootstrapping") || !strings.Contains(sb.String(), "updated "+basePath) {
+		t.Errorf("missing bootstrap confirmation:\n%s", sb.String())
+	}
+	if got := readBaseline(); len(got.Benchmarks) != 3 {
+		t.Errorf("bootstrapped baseline has %d benchmarks, want 3", len(got.Benchmarks))
+	}
+
+	// A faster passing run rewrites the baseline in place.
+	fast := strings.ReplaceAll(sampleBench, "      2215 ns/op", "      1111 ns/op")
+	fastPath := filepath.Join(dir, "fast.txt")
+	if err := os.WriteFile(fastPath, []byte(fast), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-bench", fastPath, "-baseline", basePath, "-update"}, &sb); err != nil {
+		t.Fatalf("update after pass failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "gate: ok") || !strings.Contains(sb.String(), "updated "+basePath) {
+		t.Errorf("missing gate/update confirmation:\n%s", sb.String())
+	}
+	if got := readBaseline(); got.Benchmarks[0].NsPerOp != 1111 {
+		t.Errorf("baseline not rewritten: BenchmarkFigure01 = %v ns/op, want 1111", got.Benchmarks[0].NsPerOp)
+	}
+
+	// A regressing run fails the gate and must leave the baseline alone.
+	slow := strings.ReplaceAll(sampleBench, "      2215 ns/op", "      9999 ns/op")
+	slowPath := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-bench", slowPath, "-baseline", basePath, "-update"}, &sb); err == nil {
+		t.Fatalf("regression ratified itself:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "updated ") {
+		t.Errorf("failing gate still claimed an update:\n%s", sb.String())
+	}
+	if got := readBaseline(); got.Benchmarks[0].NsPerOp != 1111 {
+		t.Errorf("failing gate rewrote the baseline: got %v ns/op", got.Benchmarks[0].NsPerOp)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {
@@ -150,5 +221,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bench", empty}, &sb); err == nil {
 		t.Error("expected error for benchless input")
+	}
+	if err := run([]string{"-bench", empty, "-update"}, &sb); err == nil || !strings.Contains(err.Error(), "-update requires -baseline") {
+		t.Errorf("-update without -baseline: err = %v, want flag-combination error", err)
 	}
 }

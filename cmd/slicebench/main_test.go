@@ -83,6 +83,83 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestCacheParallelMatchesSerial extends the byte-identical-tables
+// guarantee to cached runs: with -cache, a parallel run prints the
+// same tables and the same cache summary as a serial one. The summary
+// only exposes scheduling-independent totals — misses count distinct
+// programs (singleflight runs one build per key) and hits+coalesced
+// count every reuse, however the pool interleaved them.
+func TestCacheParallelMatchesSerial(t *testing.T) {
+	var serial, parallel strings.Builder
+	args := []string{"-exp", "all", "-seeds", "4", "-stmts", "15", "-cache"}
+	if err := run(context.Background(), append(args, "-parallel", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-parallel", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	// The E3 cells are wall-clock measurements — nondeterministic by
+	// nature, cache or not — so compare everything around them: the
+	// deterministic tables before and the cache summary after.
+	split := func(s string) (tables, summary string) {
+		t.Helper()
+		i := strings.Index(s, "\nE3:")
+		j := strings.LastIndex(s, "\ncache: ")
+		if i < 0 || j < 0 {
+			t.Fatalf("output missing E3 table or cache summary:\n%s", s)
+		}
+		return s[:i], s[j:]
+	}
+	st, ss := split(serial.String())
+	pt, ps := split(parallel.String())
+	if st != pt {
+		t.Errorf("cached parallel tables differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", st, pt)
+	}
+	if ss != ps {
+		t.Errorf("cache summary differs across parallelism: %q vs %q", ss, ps)
+	}
+}
+
+// TestCacheReuseAcrossExperiments asserts the point of -cache: an -all
+// run analyzes each generated program once and reuses it for every
+// later experiment, and the -json report embeds the accounting.
+func TestCacheReuseAcrossExperiments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-exp", "all", "-seeds", "4", "-stmts", "15",
+		"-cache", "-json", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report exps.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Cache == nil {
+		t.Fatal("-cache -json report has no cache snapshot")
+	}
+	st := report.Cache
+	// E1, E2, E4 and E6 each analyze 4 seeds × 2 corpora over the same
+	// programs, and E3 analyzes 4 sizes × 11 rows of one program each:
+	// misses = 8 corpus programs + 4 timing programs, everything else
+	// reused.
+	if st.Misses != 12 {
+		t.Errorf("misses = %d, want 12 distinct programs (stats: %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Coalesced == 0 {
+		t.Errorf("no analyses reused across experiments (stats: %+v)", st)
+	}
+	if st.Bytes <= 0 || st.Entries != 12 {
+		t.Errorf("ledger = %d bytes %d entries, want positive bytes and 12 entries", st.Bytes, st.Entries)
+	}
+	if !strings.Contains(sb.String(), "cache: ") {
+		t.Errorf("run printed no cache summary:\n%s", sb.String())
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var sb strings.Builder

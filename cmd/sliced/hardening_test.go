@@ -92,7 +92,9 @@ func TestErrorEnvelopeTable(t *testing.T) {
 		{"unknown path", "/nope", "GET", "", "", ts, 404, "not_found"},
 		{"method not allowed on /slice", "/slice", "GET", "", "", ts, 405, "method_not_allowed"},
 		{"method not allowed on /metrics", "/metrics", "POST", "", "text/plain", ts, 405, "method_not_allowed"},
-		{"debug flight bad n", "/debug/flight?n=x", "GET", "", "", ts, 400, "bad_request"},
+		{"debug flight bad n", "/debug/flight?n=x", "GET", "", "", ts, 422, "invalid_parameter"},
+		{"debug flight negative n", "/debug/flight?n=-3", "GET", "", "", ts, 422, "invalid_parameter"},
+		{"debug flight empty n", "/debug/flight?n=", "GET", "", "", ts, 422, "invalid_parameter"},
 		{"debug trace missing id", "/debug/trace", "GET", "", "", ts, 400, "bad_request"},
 		{"debug trace bad id", "/debug/trace?id=-1", "GET", "", "", ts, 400, "bad_request"},
 		{"debug trace unknown id", "/debug/trace?id=424242", "GET", "", "", ts, 404, "not_found"},

@@ -11,6 +11,12 @@
 //	                    {"source":..,"var":..,"line":..,"algo":..}.
 //	                    ?explain=1 adds per-line provenance and the
 //	                    annotated listing to the response.
+//	                    Responses carry a strong ETag derived from the
+//	                    request (the slicer is deterministic), honour
+//	                    If-None-Match with 304, and report the analysis
+//	                    cache's verdict in X-Cache: hit, miss, or
+//	                    coalesced (joined another request's in-flight
+//	                    analysis).
 //	GET  /metrics       Prometheus text exposition (v0.0.4) of the
 //	                    metrics registry: slice/traversal/jump
 //	                    counters and phase histograms.
@@ -19,6 +25,9 @@
 //	                    n events).
 //	GET  /debug/trace   ?id=N renders one request's events as Chrome
 //	                    trace_event JSON (chrome://tracing, Perfetto).
+//	GET  /debug/cache   the analysis cache's live counters and byte
+//	                    ledger as JSON ({"enabled":false} when the
+//	                    cache is off).
 //	GET  /healthz       liveness probe.
 //
 // Every request gets a monotonically increasing ID, echoed in the
@@ -44,6 +53,12 @@
 //	-max-inflight N  concurrent /slice admission slots (default
 //	                 2×GOMAXPROCS); excess load is shed with 503 and
 //	                 a Retry-After header instead of queueing.
+//	-cache-bytes N   analysis cache budget (default 64 MiB). Completed
+//	                 analyses are cached by content hash of the program
+//	                 source, so repeated and concurrent requests for
+//	                 the same program skip the whole pipeline; N
+//	                 concurrent identical requests run one analysis.
+//	-cache-off       disable the analysis cache entirely.
 //
 // A panic while serving one request is recovered, logged with its
 // stack, and answered as a 500 naming the request ID; the daemon
@@ -66,6 +81,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -88,6 +105,7 @@ import (
 	"jumpslice/internal/core"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/obs"
+	"jumpslice/internal/slicecache"
 )
 
 func main() {
@@ -98,6 +116,8 @@ func main() {
 	flag.Int64Var(&cfg.MaxBody, "max-body", cfg.MaxBody, "request body limit in bytes")
 	flag.IntVar(&cfg.MaxStmts, "max-stmts", cfg.MaxStmts, "parsed statement count limit per program")
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /slice requests before shedding load")
+	flag.Int64Var(&cfg.CacheBytes, "cache-bytes", cfg.CacheBytes, "analysis cache budget in bytes")
+	flag.BoolVar(&cfg.CacheOff, "cache-off", cfg.CacheOff, "disable the analysis cache")
 	flag.Parse()
 	if err := serve(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sliced:", err)
@@ -112,6 +132,8 @@ type config struct {
 	MaxBody     int64         // request body byte limit
 	MaxStmts    int           // parsed statement-count limit
 	MaxInflight int           // /slice admission slots before shedding
+	CacheBytes  int64         // analysis cache budget; <=0 means the default
+	CacheOff    bool          // disable the analysis cache
 	// Failpoints enables the X-Sliced-Fail request header, which
 	// injects failures into the serving path (value "panic" panics
 	// inside the handler, "block" parks the request until released).
@@ -127,6 +149,7 @@ func defaultConfig() config {
 		MaxBody:     1 << 20,
 		MaxStmts:    20000,
 		MaxInflight: 2 * runtime.GOMAXPROCS(0),
+		CacheBytes:  slicecache.DefaultMaxBytes,
 	}
 }
 
@@ -187,6 +210,10 @@ type server struct {
 	logger *log.Logger
 	mux    *http.ServeMux
 	sem    chan struct{} // admission slots; acquired for the whole /slice handler
+	// cache memoizes completed analyses by content hash of the program
+	// source; nil when disabled. Cached analyses are detached — each
+	// request binds its own view with Rebind.
+	cache *slicecache.Cache
 	// unblock releases requests parked by the "block" failpoint; the
 	// resilience tests close it to let in-flight work finish.
 	unblock chan struct{}
@@ -214,6 +241,12 @@ func newServer(cfg config, logw io.Writer) *server {
 		unblock: make(chan struct{}),
 	}
 	s.tr = obs.NewTracer(s.fr)
+	if !cfg.CacheOff {
+		s.cache = slicecache.New(slicecache.Options{
+			MaxBytes: cfg.CacheBytes,
+			Recorder: s.reg,
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/slice", s.methods(map[string]http.HandlerFunc{
 		http.MethodPost: s.gated(s.handleSlice),
@@ -226,6 +259,9 @@ func newServer(cfg config, logw io.Writer) *server {
 	}))
 	mux.HandleFunc("/debug/trace", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleTrace,
+	}))
+	mux.HandleFunc("/debug/cache", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleCache,
 	}))
 	mux.HandleFunc("/healthz", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
@@ -580,6 +616,18 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, r, "request", err)
 		return
 	}
+	explain := r.URL.Query().Get("explain") == "1"
+	// The slicer is deterministic, so the request tuple identifies the
+	// slice content and makes a valid strong validator. (The request
+	// and duration_ns response fields vary per request; they are
+	// delivery metadata, not content — the semantic payload a client
+	// revalidates is the slice itself.)
+	etag := sliceETag(req, explain)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -590,20 +638,9 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	tr := s.tr.ForRequest(id)
 	start := time.Now()
 
-	prog, err := lang.Parse(req.Source)
-	if err != nil {
-		s.fail(w, r, http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err)
-		return
-	}
-	if n := len(lang.Statements(prog)); n > s.cfg.MaxStmts {
-		s.fail(w, r, http.StatusRequestEntityTooLarge, "program_too_large",
-			"program has %d statements, over the %d limit", n, s.cfg.MaxStmts)
-		return
-	}
-	a, err := core.AnalyzeObservedContext(ctx, prog, s.reg, tr)
-	if err != nil {
-		s.failErr(w, r, "analyze", err)
-		return
+	a := s.analysisFor(ctx, w, r, req.Source, tr)
+	if a == nil {
+		return // analysisFor already answered
 	}
 	sl, err := coreSlice(a, req.Algo, core.Criterion{Var: req.Var, Line: req.Line})
 	if err != nil {
@@ -622,7 +659,7 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	for _, nid := range sl.JumpsAdded {
 		resp.JumpLines = append(resp.JumpLines, a.CFG.Nodes[nid].Line)
 	}
-	if r.URL.Query().Get("explain") == "1" {
+	if explain {
 		p, err := sl.Explain()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -639,6 +676,99 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// buildAnalysis is the uncached analysis path — parse, size gate,
+// full pipeline — shared by the direct and cache-mediated routes. Its
+// errors are httpErrors (client faults keep their status through the
+// cache's negative entries) or pipeline errors for failErr to map.
+func (s *server) buildAnalysis(ctx context.Context, source string, tr *obs.Tracer) (*core.Analysis, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, httpErrorf(http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err)
+	}
+	if n := len(lang.Statements(prog)); n > s.cfg.MaxStmts {
+		return nil, httpErrorf(http.StatusRequestEntityTooLarge, "program_too_large",
+			"program has %d statements, over the %d limit", n, s.cfg.MaxStmts)
+	}
+	return core.AnalyzeObservedContext(ctx, prog, s.reg, tr)
+}
+
+// analysisFor produces the request's analysis, through the cache when
+// one is configured. On the cached path the build runs detached (the
+// cache owns its context and the result outlives this request) and
+// the hit is rebound to this request's deadline and trace; parse and
+// size-limit faults ride the cache's negative entries, so repeated
+// malformed programs are refused from memory. A nil return means the
+// response — error or 304 — was already written.
+func (s *server) analysisFor(ctx context.Context, w http.ResponseWriter, r *http.Request, source string, tr *obs.Tracer) *core.Analysis {
+	if s.cache == nil {
+		a, err := s.buildAnalysis(ctx, source, tr)
+		if err != nil {
+			s.failErr(w, r, "analyze", err)
+			return nil
+		}
+		return a
+	}
+	cached, outcome, err := s.cache.Get(ctx, source, func(bctx context.Context) (*core.Analysis, error) {
+		a, err := s.buildAnalysis(bctx, source, tr)
+		if err != nil {
+			return nil, err
+		}
+		return a.Rebind(nil, s.reg, nil), nil
+	})
+	w.Header().Set("X-Cache", outcome.String())
+	tr.Instant("cache."+outcome.String(), 1)
+	if err != nil {
+		s.failErr(w, r, "analyze", err)
+		return nil
+	}
+	return cached.Rebind(ctx, s.reg, tr)
+}
+
+// sliceETag derives the strong validator for a slice request: the
+// content hash of everything the response's semantic payload depends
+// on — program source, criterion, algorithm, and whether provenance
+// was requested.
+func sliceETag(req *sliceRequest, explain bool) string {
+	h := sha256.New()
+	for _, part := range []string{"sliced-etag-v1", req.Source, req.Var, strconv.Itoa(req.Line), req.Algo, strconv.FormatBool(explain)} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil)) + `"`
+}
+
+// etagMatches implements If-None-Match for a single strong validator:
+// "*" matches anything, otherwise any listed entity tag must equal
+// ours (weak prefixes never match — weak comparison is not valid for
+// the byte-range-capable semantics a strong validator advertises).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		if strings.TrimSpace(cand) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCache reports the analysis cache's live state: the counters,
+// the exact byte ledger, and the configured budget.
+func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool             `json:"enabled"`
+		Stats   slicecache.Stats `json:"stats"`
+	}{true, s.cache.Stats()})
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, s.reg.Snapshot())
@@ -646,10 +776,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	events := s.fr.Events()
-	if v := r.URL.Query().Get("n"); v != "" {
+	// The n parameter is validated strictly: a request that says
+	// "limit to n" but sends garbage gets a 422 naming the fault, not
+	// a silently unlimited dump.
+	if vs, present := r.URL.Query()["n"]; present {
+		v := ""
+		if len(vs) > 0 {
+			v = vs[0]
+		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			s.fail(w, r, http.StatusBadRequest, "bad_request", "bad n %q", v)
+			s.fail(w, r, http.StatusUnprocessableEntity, "invalid_parameter",
+				"parameter n must be a non-negative integer, got %q", v)
 			return
 		}
 		if n < len(events) {

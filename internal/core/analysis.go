@@ -117,10 +117,12 @@ type Analysis struct {
 	// label retargeting.
 	gotoNodes []*cfg.Node
 
-	// batchCond is the lazily-built condensation of the invariant-
-	// augmented dependence relation backing SliceAll; see batchEngine.
-	batchOnce sync.Once
-	batchCond *pdg.Condensation
+	// batch holds the lazily-built condensation of the invariant-
+	// augmented dependence relation backing SliceAll (see batchEngine).
+	// It sits behind a pointer so the condensation — and its sync.Once
+	// — is shared by every Rebind view of this Analysis, and so the
+	// Analysis struct itself stays free of locks and legal to copy.
+	batch *batchState
 
 	// rec is the observability recorder every slicing call reports to
 	// (obs.Nop unless AnalyzeRecorded attached a collecting one), and
@@ -183,6 +185,13 @@ type condJumpPair struct {
 	pred, jump int
 }
 
+// batchState is the shared lazily-built batch-engine state of one
+// Analysis and all its Rebind views.
+type batchState struct {
+	once sync.Once
+	cond *pdg.Condensation
+}
+
 // Analyze parses nothing: it takes an already-parsed program and
 // derives the flowgraph, postdominator tree, dependence graphs, and
 // lexical successor tree. Equivalent to AnalyzeRecorded with the
@@ -240,10 +249,11 @@ func AnalyzeObservedContext(ctx context.Context, prog *lang.Program, rec obs.Rec
 		return nil, err
 	}
 	a := &Analysis{
-		Prog: prog,
-		CFG:  g,
-		rec:  rec,
-		tr:   tr,
+		Prog:  prog,
+		CFG:   g,
+		batch: &batchState{},
+		rec:   rec,
+		tr:    tr,
 	}
 	a.m.resolve(rec)
 	a.bindContext(ctx)

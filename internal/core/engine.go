@@ -77,7 +77,7 @@ func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG, a.cancelf} }
 // engine's grow-then-normalize loop computes — so the batch path
 // skips the normalization passes entirely.
 func (a *Analysis) batchEngine() depEngine {
-	a.batchOnce.Do(func() {
+	a.batch.once.Do(func() {
 		sp := a.rec.StartSpan("phase.analyze.condense")
 		ts := a.tr.StartSpan("phase.analyze.condense")
 		defer func() { ts.End(); sp.End() }()
@@ -101,12 +101,12 @@ func (a *Analysis) batchEngine() depEngine {
 				aug[v] = deps
 			}
 		}
-		a.batchCond = pdg.Condense(aug)
-		a.batchCond.Instrument(
+		a.batch.cond = pdg.Condense(aug)
+		a.batch.cond.Instrument(
 			a.rec.Counter("pdg.closure_requests"),
 			a.rec.Counter("pdg.closure_hits"),
 			a.rec.Counter("pdg.closure_builds"))
-		a.batchCond.Trace(a.tr)
+		a.batch.cond.Trace(a.tr)
 	})
-	return condEngine{a.batchCond, a.cancelf}
+	return condEngine{a.batch.cond, a.cancelf}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"jumpslice/internal/cfg"
 	"jumpslice/internal/lang"
 )
@@ -34,6 +36,13 @@ func (s *Slice) Materialize() *lang.Program {
 	}
 	for label, nodeID := range s.Relabeled {
 		m.labels[nodeID] = append(m.labels[nodeID], label)
+	}
+	// Relabeled is a map; fix the attachment order of labels sharing a
+	// target so materialization is a pure function of the slice (the
+	// daemon's ETag and the cache's byte-identical-response property
+	// both assume deterministic output).
+	for _, ls := range m.labels {
+		sort.Strings(ls)
 	}
 
 	out := &lang.Program{Labels: map[string]*lang.LabeledStmt{}}

@@ -28,6 +28,7 @@ import (
 	"jumpslice/internal/lang"
 	"jumpslice/internal/obs"
 	"jumpslice/internal/progen"
+	"jumpslice/internal/slicecache"
 )
 
 // Options configures an experiment run.
@@ -59,6 +60,15 @@ type Options struct {
 	// long corpus sweep aborts promptly with an error wrapping
 	// ctx.Err(). Nil means no cancellation.
 	Context context.Context
+	// Cache, when non-nil, memoizes completed analyses by content
+	// hash of the generated program text. Experiments regenerate and
+	// re-analyze the same (seed, stmts) programs — every table over
+	// one corpus shares its seeds — so a cache shared across an -all
+	// run analyzes each program once and every later experiment
+	// rebinds the cached result to its own context and instruments.
+	// Coalescing also collapses the duplicate analyses a parallel run
+	// would otherwise do when two experiments race on one seed.
+	Cache *slicecache.Cache
 }
 
 // ctx returns the run's context, defaulting to Background.
@@ -93,6 +103,10 @@ type Report struct {
 	// published, how many the bounded ring had to evict, and how many
 	// remained buffered.
 	Trace *TraceStats `json:"trace,omitempty"`
+	// Cache is the analysis cache's closing snapshot, when the run
+	// was given an Options.Cache (cmd/slicebench -cache): how many
+	// analyses were reused versus built, and the resident byte ledger.
+	Cache *slicecache.Stats `json:"cache,omitempty"`
 }
 
 // TraceStats is the flight-recorder accounting of one traced run.
@@ -217,12 +231,34 @@ type seedCase struct {
 	crits []core.Criterion
 }
 
+// analyze runs the analysis pipeline on p, through the run's cache
+// when one is configured: keyed by the program's printed text, built
+// detached on a miss, and rebound to this call's context and
+// instruments either way.
+func (o Options) analyze(ctx context.Context, p *lang.Program) (*core.Analysis, error) {
+	rec, tr := o.Recorder, o.Tracer
+	if o.Cache == nil {
+		return core.AnalyzeObservedContext(ctx, p, rec, tr)
+	}
+	cached, _, err := o.Cache.Get(ctx, lang.Format(p, lang.PrintOptions{}), func(bctx context.Context) (*core.Analysis, error) {
+		built, err := core.AnalyzeObservedContext(bctx, p, rec, tr)
+		if err != nil {
+			return nil, err
+		}
+		return built.Rebind(nil, rec, nil), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cached.Rebind(ctx, rec, tr), nil
+}
+
 // analyzeSeed builds the per-seed case every experiment starts from,
-// recording the analysis phases on rec (nil for none). The context
-// cancels the analysis cooperatively at phase boundaries.
-func analyzeSeed(ctx context.Context, gen func(int64) *lang.Program, seed int64, rec obs.Recorder, tr *obs.Tracer) (seedCase, error) {
+// recording the analysis phases on the run's recorder (nil for none).
+// The context cancels the analysis cooperatively at phase boundaries.
+func analyzeSeed(ctx context.Context, gen func(int64) *lang.Program, seed int64, o Options) (seedCase, error) {
 	p := gen(seed)
-	a, err := core.AnalyzeObservedContext(ctx, p, rec, tr)
+	a, err := o.analyze(ctx, p)
 	if err != nil {
 		return seedCase{}, fmt.Errorf("seed %d: %w", seed, err)
 	}
@@ -304,7 +340,7 @@ func Precision(o Options) ([]PrecisionRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
+			sc, err := analyzeSeed(ctx, gen, seed, o)
 			if err != nil {
 				return nil, err
 			}
@@ -408,7 +444,7 @@ func Soundness(o Options) ([]SoundnessRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) ([]totals, error) {
-			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
+			sc, err := analyzeSeed(ctx, gen, seed, o)
 			if err != nil {
 				return nil, err
 			}
@@ -463,7 +499,7 @@ func Traversals(o Options) ([]TraversalRow, error) {
 	for _, corpus := range CorpusNames() {
 		gen := generator(corpus, o.Stmts)
 		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (map[int]int, error) {
-			sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
+			sc, err := analyzeSeed(ctx, gen, seed, o)
 			if err != nil {
 				return nil, err
 			}
@@ -521,7 +557,7 @@ func Dynamic(o Options) ([]DynamicRow, error) {
 			prof := prof
 			type totals struct{ dyn, stat, cases int }
 			parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (totals, error) {
-				sc, err := analyzeSeed(ctx, gen, seed, o.Recorder, o.Tracer)
+				sc, err := analyzeSeed(ctx, gen, seed, o)
 				if err != nil {
 					return totals{}, err
 				}
@@ -589,7 +625,7 @@ func Timing(o Options) ([]TimingRow, error) {
 		c := cells[i]
 		size := TimingSizes[c.col]
 		p := progen.Structured(progen.Config{Seed: 1, Stmts: size})
-		a, err := core.AnalyzeObservedContext(ctx, p, o.Recorder, o.Tracer)
+		a, err := o.analyze(ctx, p)
 		if err != nil {
 			return struct{}{}, err
 		}

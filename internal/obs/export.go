@@ -111,16 +111,23 @@ func promName(name string) string {
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format, version 0.0.4 (serve it with Content-Type
 // "text/plain; version=0.0.4"). Counters gain the conventional
-// "_total" suffix; histograms keep their unit as a name suffix ("_ns"
-// for durations) and emit cumulative "_bucket" series with explicit
-// le bounds — the snapshot's inclusive upper bounds, the unbounded
-// overflow bucket rendering as le="+Inf" — plus "_sum" and "_count".
-// Output order follows the snapshot (instruments sorted by name), so
-// equal snapshots render to equal bytes.
+// "_total" suffix; gauges keep their bare name; histograms keep their
+// unit as a name suffix ("_ns" for durations) and emit cumulative
+// "_bucket" series with explicit le bounds — the snapshot's inclusive
+// upper bounds, the unbounded overflow bucket rendering as le="+Inf"
+// — plus "_sum" and "_count". Output order follows the snapshot
+// (instruments sorted by name within each class), so equal snapshots
+// render to equal bytes.
 func WritePrometheus(w io.Writer, s *Snapshot) error {
 	for _, c := range s.Counters {
 		name := promName(c.Name) + "_total"
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
 			return err
 		}
 	}

@@ -47,6 +47,46 @@ jumpslice_phase_analyze_ns_count 2
 	}
 }
 
+// TestPrometheusCacheNamesGolden pins the wire names of the slice
+// cache's instruments (internal/slicecache resolves these from its
+// recorder): counters render with _total, the resident-size gauges
+// render bare, and gauges sort between counters and histograms. CI's
+// sliced-smoke job greps for jumpslice_cache_hits_total, so this
+// golden is the contract that name never drifts.
+func TestPrometheusCacheNamesGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache.hits").Add(7)
+	r.Counter("cache.misses").Add(2)
+	r.Counter("cache.coalesced").Add(3)
+	r.Counter("cache.evictions").Add(1)
+	r.Counter("cache.neg_hits").Add(1)
+	r.Gauge("cache.resident_bytes").Set(4096)
+	r.Gauge("cache.entries").Set(2)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE jumpslice_cache_coalesced_total counter
+jumpslice_cache_coalesced_total 3
+# TYPE jumpslice_cache_evictions_total counter
+jumpslice_cache_evictions_total 1
+# TYPE jumpslice_cache_hits_total counter
+jumpslice_cache_hits_total 7
+# TYPE jumpslice_cache_misses_total counter
+jumpslice_cache_misses_total 2
+# TYPE jumpslice_cache_neg_hits_total counter
+jumpslice_cache_neg_hits_total 1
+# TYPE jumpslice_cache_entries gauge
+jumpslice_cache_entries 2
+# TYPE jumpslice_cache_resident_bytes gauge
+jumpslice_cache_resident_bytes 4096
+`
+	if got := buf.String(); got != want {
+		t.Errorf("cache exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestPrometheusEmptySnapshot renders nothing for an empty registry.
 func TestPrometheusEmptySnapshot(t *testing.T) {
 	var buf bytes.Buffer

@@ -86,6 +86,37 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an instantaneous level — resident cache bytes, entry
+// counts — that, unlike a Counter, can go down. The nil gauge is a
+// valid no-op: Add, Set and Value on nil cost one nil-check.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrease). No-op on nil.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Set replaces the gauge's level. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // NumBuckets is the fixed bucket count of every histogram: power-of-
 // two buckets covering 1..2^46 (for nanoseconds, ~20 hours; for
 // counts, far beyond any node set), plus bucket 0 for values <= 0 and
@@ -173,6 +204,8 @@ func (s Span) End() time.Duration {
 type Recorder interface {
 	// Counter returns the named counter, creating it on first use.
 	Counter(name string) *Counter
+	// Gauge returns the named gauge, creating it on first use.
+	Gauge(name string) *Gauge
 	// Histogram returns the named histogram with the given unit,
 	// creating it on first use. The unit is fixed at creation.
 	Histogram(name string, unit Unit) *Histogram
@@ -187,6 +220,7 @@ var Nop Recorder = nopRecorder{}
 type nopRecorder struct{}
 
 func (nopRecorder) Counter(string) *Counter           { return nil }
+func (nopRecorder) Gauge(string) *Gauge               { return nil }
 func (nopRecorder) Histogram(string, Unit) *Histogram { return nil }
 func (nopRecorder) StartSpan(string) Span             { return Span{} }
 
@@ -204,6 +238,7 @@ func OrNop(r Recorder) Recorder {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -211,6 +246,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -225,6 +261,18 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Unlock()
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -248,6 +296,12 @@ func (r *Registry) StartSpan(name string) Span {
 
 // CounterSnapshot is one counter's state in a Snapshot.
 type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's state in a Snapshot.
+type GaugeSnapshot struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
@@ -278,6 +332,7 @@ type HistogramSnapshot struct {
 // Registry's state, ready for JSON encoding.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -307,6 +362,10 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{Name: name, Unit: h.unit, Count: h.count.Load(), Sum: h.sum.Load()}
 		for i := 0; i < numBuckets; i++ {
@@ -322,15 +381,37 @@ func (r *Registry) Snapshot() *Snapshot {
 
 // Scrub zeroes the wall-clock content of every UnitNanoseconds
 // histogram in place — Sum and per-bucket placements — while keeping
-// the structural observation Count. Two runs of the same deterministic
-// workload produce byte-identical scrubbed snapshots at any
-// parallelism; cmd/slicebench's determinism test relies on this.
+// the structural observation Count. It also folds the analysis
+// cache's cache.hits and cache.coalesced counters into a single
+// cache.reused counter: the two outcomes both mean "an analysis was
+// not rebuilt", and how reuses split between them depends on whether
+// the second request arrived during or after the first's build — pure
+// scheduling. The fold keeps the deterministic total. Two runs of the
+// same deterministic workload produce byte-identical scrubbed
+// snapshots at any parallelism; cmd/slicebench's determinism test
+// relies on this.
 func (s *Snapshot) Scrub() *Snapshot {
 	for i := range s.Histograms {
 		if s.Histograms[i].Unit == UnitNanoseconds {
 			s.Histograms[i].Sum = 0
 			s.Histograms[i].Buckets = nil
 		}
+	}
+	var reused int64
+	fold := false
+	kept := s.Counters[:0]
+	for _, c := range s.Counters {
+		if c.Name == "cache.hits" || c.Name == "cache.coalesced" {
+			reused += c.Value
+			fold = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if fold {
+		kept = append(kept, CounterSnapshot{Name: "cache.reused", Value: reused})
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Name < kept[j].Name })
+		s.Counters = kept
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +14,12 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	c.Add(5)
 	if c.Value() != 0 {
 		t.Errorf("nil counter value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Add(5)
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %d", g.Value())
 	}
 	var h *Histogram
 	h.Observe(42)
@@ -27,6 +34,9 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 func TestNopRecorder(t *testing.T) {
 	if Nop.Counter("x") != nil {
 		t.Error("Nop.Counter != nil")
+	}
+	if Nop.Gauge("x") != nil {
+		t.Error("Nop.Gauge != nil")
 	}
 	if Nop.Histogram("x", UnitCount) != nil {
 		t.Error("Nop.Histogram != nil")
@@ -112,6 +122,40 @@ func TestSnapshotDeterministicOrderAndScrub(t *testing.T) {
 	}
 }
 
+// TestScrubFoldsCacheSplit asserts Scrub merges the analysis cache's
+// scheduling-dependent hit/coalesced split into one reused counter, so
+// two runs whose reuses landed differently scrub identically.
+func TestScrubFoldsCacheSplit(t *testing.T) {
+	build := func(hits, coalesced int64) []byte {
+		r := NewRegistry()
+		r.Counter("cache.hits").Add(hits)
+		r.Counter("cache.coalesced").Add(coalesced)
+		r.Counter("cache.misses").Add(3)
+		data, err := json.Marshal(r.Snapshot().Scrub())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(7, 1), build(2, 6)
+	if string(a) != string(b) {
+		t.Errorf("scrubbed snapshots differ on the hit/coalesced split:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"cache.reused"`) || strings.Contains(string(a), `"cache.hits"`) {
+		t.Errorf("scrub did not fold into cache.reused:\n%s", a)
+	}
+	// Snapshots without cache counters are untouched.
+	r := NewRegistry()
+	r.Counter("other").Add(1)
+	data, err := json.Marshal(r.Snapshot().Scrub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "cache.reused") {
+		t.Errorf("scrub invented a cache.reused counter:\n%s", data)
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup
@@ -131,5 +175,40 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if got := r.Histogram("h", UnitCount).Count(); got != 8000 {
 		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestGauge exercises the gauge's level semantics: Add moves in both
+// directions, Set replaces, snapshots carry the current level, and the
+// registry hands back the same gauge per name.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cache.resident_bytes")
+	g.Add(100)
+	g.Add(-30)
+	if g.Value() != 70 {
+		t.Errorf("gauge value = %d, want 70", g.Value())
+	}
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Errorf("gauge value after Set = %d, want 5", g.Value())
+	}
+	if r.Gauge("cache.resident_bytes") != g {
+		t.Error("registry did not reuse the named gauge")
+	}
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Name != "cache.resident_bytes" || snap.Gauges[0].Value != 5 {
+		t.Errorf("snapshot gauges = %+v", snap.Gauges)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Gauges) != 1 || back.Gauges[0].Value != 5 {
+		t.Errorf("gauges do not round-trip: %+v", back.Gauges)
 	}
 }
