@@ -12,6 +12,7 @@ package jumpslice_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"jumpslice/internal/baselines"
@@ -21,6 +22,7 @@ import (
 	"jumpslice/internal/dom"
 	"jumpslice/internal/dynslice"
 	"jumpslice/internal/exps"
+	"jumpslice/internal/incremental"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/paper"
 	"jumpslice/internal/progen"
@@ -480,6 +482,134 @@ func BenchmarkExtensions(b *testing.B) {
 	b.Run("weiser", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := baselines.Weiser(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalEdit measures the editor loop on the 400-stmt
+// structured corpus program: a one-line expression edit re-sliced via
+// the incremental engine (SpliceLine into the previous AST, then
+// ReanalyzeProgram reusing every shape-pure phase) against a cold
+// parse-and-analyze of the edited text. The acceptance target —
+// gated in benchgate — is incremental < 5% of cold; the edit is
+// asserted to land in the "patched" tier and to produce a slice
+// byte-identical to the cold run before timing.
+func BenchmarkIncrementalEdit(b *testing.B) {
+	p := progen.Structured(progen.Config{Seed: 7, Stmts: 400})
+	src := lang.Format(p, lang.PrintOptions{})
+	crits := progen.WriteCriteria(p)
+	c := core.Criterion{Var: crits[len(crits)-1].Var, Line: crits[len(crits)-1].Line}
+	ctx := context.Background()
+
+	prev, err := core.AnalyzeObservedContext(ctx, p, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// The session holds a warmed analysis: its batch condensation is
+	// built once and patched across edits, exactly what the sliced
+	// daemon's PATCH handler does.
+	if _, err := prev.SliceAll([]core.Criterion{c}); err != nil {
+		b.Fatal(err)
+	}
+
+	// Pick a line SpliceLine accepts whose edit stays in the patched
+	// tier with a patchable condensation: an unlabeled assignment,
+	// rewritten with the same target variable so no definition moves,
+	// and whose dependence SCC is a singleton so the memoized closures
+	// survive.
+	line, text := 0, ""
+	for _, s := range lang.Statements(p) {
+		as, ok := s.(*lang.AssignStmt)
+		if !ok {
+			continue
+		}
+		cand := fmt.Sprintf("%s = %s + 1;", as.Name, as.Name)
+		p2, ok := incremental.SpliceLine(p, as.Pos().Line, cand)
+		if !ok {
+			continue
+		}
+		inc, stats, err := core.ReanalyzeProgram(ctx, prev, p2, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Outcome == "patched" && stats.CondensationPatched {
+			// Keep the last (latest) candidate: closures of components
+			// below the edit survive the patch, so a late edit shares
+			// most of the warmed work — the common editor case.
+			line, text = as.Pos().Line, cand
+			_ = inc
+		}
+	}
+	if line == 0 {
+		b.Fatal("no condensation-patchable assignment found in the corpus program")
+	}
+	lines := strings.Split(src, "\n")
+	lines[line-1] = text
+	newSrc := strings.Join(lines, "\n")
+
+	coldBuild := func() (*core.Analysis, error) {
+		prog, err := lang.Parse(newSrc)
+		if err != nil {
+			return nil, err
+		}
+		return core.AnalyzeObservedContext(ctx, prog, nil, nil)
+	}
+
+	// Correctness gate before timing: the incremental re-analysis must
+	// be patched-tier and slice byte-identically to the cold rebuild.
+	p2, ok := incremental.SpliceLine(prev.Prog, line, text)
+	if !ok {
+		b.Fatal("SpliceLine refused the benchmark edit")
+	}
+	inc, stats, err := core.ReanalyzeProgram(ctx, prev, p2, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Outcome != "patched" || !stats.CondensationPatched {
+		b.Fatalf("benchmark edit landed in tier %q (fallback %q, condensation %v), want patched",
+			stats.Outcome, stats.Fallback, stats.CondensationPatched)
+	}
+	iss, err := inc.SliceAll([]core.Criterion{c})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold, err := coldBuild()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := cold.Agrawal(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !iss[0].Nodes.Equal(cs.Nodes) {
+		b.Fatal("incremental and cold slices differ")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := coldBuild()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Agrawal(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p2, ok := incremental.SpliceLine(prev.Prog, line, text)
+			if !ok {
+				b.Fatal("SpliceLine refused the benchmark edit")
+			}
+			a, _, err := core.ReanalyzeProgram(ctx, prev, p2, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.SliceAll([]core.Criterion{c}); err != nil {
 				b.Fatal(err)
 			}
 		}

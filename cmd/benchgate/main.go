@@ -22,6 +22,16 @@
 // suffix (BenchmarkX-8 → BenchmarkX) so reports compare across
 // machines.
 //
+// Besides the cross-run baseline gate, -ratio pins relationships
+// within one run: `-ratio Num:Den:max` (repeatable) fails when
+// benchmark Num's ns/op exceeds max times benchmark Den's. This is
+// how machine-independent contracts are enforced — e.g.
+//
+//	-ratio 'BenchmarkIncrementalEdit/incremental:BenchmarkIncrementalEdit/cold:0.05'
+//
+// asserts an incremental one-line re-analysis stays under 5% of the
+// cold pipeline, on whatever hardware CI happens to run.
+//
 // Baselines are maintained with -update: after the gate passes, the
 // baseline file is rewritten with the merged report of the current
 // run, so accepting a new performance floor is one flag on a green
@@ -61,6 +71,8 @@ type Report struct {
 	// Phases summarizes the pipeline span histograms ("phase.*") of
 	// the metrics snapshot, sorted by name.
 	Phases []Phase `json:"phases,omitempty"`
+	// Ratios are the evaluated -ratio assertions of this run.
+	Ratios []RatioResult `json:"ratios,omitempty"`
 }
 
 // Benchmark is one `go test -bench` result line.
@@ -88,6 +100,80 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx)", r.Name, r.PR, r.Base, r.PR/r.Base)
 }
 
+// ratioGate is one -ratio assertion: benchmark Num's ns/op must not
+// exceed Max times benchmark Den's ns/op within the same run. Unlike
+// the baseline gate, which catches regressions against history, a
+// ratio gate pins a relationship two benchmarks of one run must keep
+// regardless of machine speed — e.g. an incremental re-analysis
+// staying under 5% of the cold pipeline.
+type ratioGate struct {
+	Num, Den string
+	Max      float64
+}
+
+// ratioFlags collects repeatable -ratio Num:Den:max flags.
+type ratioFlags []ratioGate
+
+func (f *ratioFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, g := range *f {
+		parts[i] = fmt.Sprintf("%s:%s:%g", g.Num, g.Den, g.Max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *ratioFlags) Set(v string) error {
+	i := strings.LastIndex(v, ":")
+	if i < 0 {
+		return fmt.Errorf("want Num:Den:max, got %q", v)
+	}
+	max, err := strconv.ParseFloat(v[i+1:], 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("bad max ratio in %q (want a positive float)", v)
+	}
+	pair := v[:i]
+	j := strings.Index(pair, ":")
+	if j <= 0 || j == len(pair)-1 {
+		return fmt.Errorf("want Num:Den:max, got %q", v)
+	}
+	*f = append(*f, ratioGate{Num: pair[:j], Den: pair[j+1:], Max: max})
+	return nil
+}
+
+// RatioResult is one evaluated -ratio assertion.
+type RatioResult struct {
+	Num   string  `json:"num"`
+	Den   string  `json:"den"`
+	Ratio float64 `json:"ratio"`
+	Max   float64 `json:"max"`
+}
+
+// GateRatios evaluates ratio assertions against one run's benchmarks.
+// A gate naming a benchmark the run did not produce is an error — a
+// silently skipped assertion would pass forever.
+func GateRatios(benchmarks []Benchmark, gates []ratioGate) ([]RatioResult, error) {
+	byName := make(map[string]float64, len(benchmarks))
+	for _, b := range benchmarks {
+		byName[b.Name] = b.NsPerOp
+	}
+	out := make([]RatioResult, 0, len(gates))
+	for _, g := range gates {
+		num, ok := byName[g.Num]
+		if !ok {
+			return nil, fmt.Errorf("-ratio: benchmark %q not in this run", g.Num)
+		}
+		den, ok := byName[g.Den]
+		if !ok {
+			return nil, fmt.Errorf("-ratio: benchmark %q not in this run", g.Den)
+		}
+		if den <= 0 {
+			return nil, fmt.Errorf("-ratio: benchmark %q has no time to divide by", g.Den)
+		}
+		out = append(out, RatioResult{Num: g.Num, Den: g.Den, Ratio: num / den, Max: g.Max})
+	}
+	return out, nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	benchPath := fs.String("bench", "", "`go test -bench` output to parse (required)")
@@ -96,6 +182,8 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "", "write the merged report here (optional)")
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when PR ns/op exceeds baseline by this factor")
 	update := fs.Bool("update", false, "rewrite -baseline from this run after the gate passes")
+	var ratios ratioFlags
+	fs.Var(&ratios, "ratio", "`Num:Den:max` — fail when benchmark Num exceeds max × benchmark Den in this run (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +207,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%s: no benchmark result lines found", *benchPath)
 	}
 	report := &Report{Benchmarks: benchmarks}
+	report.Ratios, err = GateRatios(benchmarks, ratios)
+	if err != nil {
+		return err
+	}
 
 	if *metricsPath != "" {
 		data, err := os.ReadFile(*metricsPath)
@@ -137,6 +229,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s (%d benchmarks, %d phases)\n", *outPath, len(report.Benchmarks), len(report.Phases))
+	}
+
+	// Ratio gates fail before the baseline gate can -update: a run
+	// that broke a pinned ratio must not ratify anything.
+	violated := 0
+	for _, rr := range report.Ratios {
+		status := "ok"
+		if rr.Ratio > rr.Max {
+			status = "RATIO EXCEEDED"
+			violated++
+		}
+		fmt.Fprintf(out, "ratio: %s / %s = %.4f (max %.4f) %s\n", rr.Num, rr.Den, rr.Ratio, rr.Max, status)
+	}
+	if violated > 0 {
+		return fmt.Errorf("%d ratio gate(s) exceeded", violated)
 	}
 
 	if *baselinePath != "" {

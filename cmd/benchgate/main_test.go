@@ -226,3 +226,118 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("-update without -baseline: err = %v, want flag-combination error", err)
 	}
 }
+
+func TestRatioFlagsSet(t *testing.T) {
+	var f ratioFlags
+	good := []struct {
+		in       string
+		num, den string
+		max      float64
+	}{
+		{"BenchmarkA:BenchmarkB:0.05", "BenchmarkA", "BenchmarkB", 0.05},
+		{"BenchmarkIncrementalEdit/incremental:BenchmarkIncrementalEdit/cold:0.05",
+			"BenchmarkIncrementalEdit/incremental", "BenchmarkIncrementalEdit/cold", 0.05},
+		{"BenchmarkA:BenchmarkB:2", "BenchmarkA", "BenchmarkB", 2},
+	}
+	for _, g := range good {
+		if err := f.Set(g.in); err != nil {
+			t.Fatalf("Set(%q) = %v", g.in, err)
+		}
+		got := f[len(f)-1]
+		if got.Num != g.num || got.Den != g.den || got.Max != g.max {
+			t.Errorf("Set(%q) parsed %+v, want {%s %s %g}", g.in, got, g.num, g.den, g.max)
+		}
+	}
+	if s := f.String(); !strings.Contains(s, "BenchmarkA:BenchmarkB:0.05") {
+		t.Errorf("String() = %q, missing first gate", s)
+	}
+	for _, bad := range []string{"", "NoColons", "OnlyOne:0.5", "A:B:", "A:B:zero", "A:B:-1", "A:B:0", ":B:0.5", "A::0.5"} {
+		before := len(f)
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted malformed gate: %+v", bad, f[len(f)-1])
+		}
+		if len(f) != before {
+			t.Errorf("Set(%q) appended despite error", bad)
+		}
+	}
+}
+
+func TestGateRatios(t *testing.T) {
+	benchmarks := []Benchmark{
+		{Name: "BenchmarkCold", NsPerOp: 1000},
+		{Name: "BenchmarkIncr", NsPerOp: 30},
+	}
+	res, err := GateRatios(benchmarks, []ratioGate{{Num: "BenchmarkIncr", Den: "BenchmarkCold", Max: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Ratio != 0.03 || res[0].Max != 0.05 {
+		t.Errorf("results = %+v, want one 0.03 (max 0.05)", res)
+	}
+
+	// A gate naming an absent benchmark must be a hard error, not a skip.
+	if _, err := GateRatios(benchmarks, []ratioGate{{Num: "BenchmarkMissing", Den: "BenchmarkCold", Max: 1}}); err == nil || !strings.Contains(err.Error(), "BenchmarkMissing") {
+		t.Errorf("missing numerator: err = %v, want named error", err)
+	}
+	if _, err := GateRatios(benchmarks, []ratioGate{{Num: "BenchmarkIncr", Den: "BenchmarkMissing", Max: 1}}); err == nil || !strings.Contains(err.Error(), "BenchmarkMissing") {
+		t.Errorf("missing denominator: err = %v, want named error", err)
+	}
+	zero := append(benchmarks, Benchmark{Name: "BenchmarkZero", NsPerOp: 0})
+	if _, err := GateRatios(zero, []ratioGate{{Num: "BenchmarkIncr", Den: "BenchmarkZero", Max: 1}}); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+// TestRatioGateEndToEnd drives run() with -ratio: a holding ratio
+// passes and lands in the report; a broken ratio fails the run and
+// must not ratify a baseline via -update.
+func TestRatioGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// batch-sliceall (~21ms) is well under 0.5x independent-agrawal (~52ms).
+	gate := "BenchmarkSliceAll/batch-sliceall:BenchmarkSliceAll/independent-agrawal:0.5"
+	outPath := filepath.Join(dir, "report.json")
+	var sb strings.Builder
+	if err := run([]string{"-bench", benchPath, "-ratio", gate, "-out", outPath}, &sb); err != nil {
+		t.Fatalf("passing ratio failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ratio: ") || !strings.Contains(sb.String(), "ok") {
+		t.Errorf("missing ratio confirmation:\n%s", sb.String())
+	}
+	var rep Report
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ratios) != 1 || rep.Ratios[0].Max != 0.5 || rep.Ratios[0].Ratio <= 0 {
+		t.Errorf("report ratios = %+v, want one evaluated gate", rep.Ratios)
+	}
+
+	// Tighten the gate until it breaks: the same pair cannot hold 0.1.
+	tight := "BenchmarkSliceAll/batch-sliceall:BenchmarkSliceAll/independent-agrawal:0.1"
+	basePath := filepath.Join(dir, "baseline.json")
+	sb.Reset()
+	err = run([]string{"-bench", benchPath, "-ratio", tight, "-baseline", basePath, "-update"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "ratio gate") {
+		t.Fatalf("broken ratio passed: err = %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "RATIO EXCEEDED") {
+		t.Errorf("missing RATIO EXCEEDED line:\n%s", sb.String())
+	}
+	if _, statErr := os.Stat(basePath); statErr == nil {
+		t.Error("failing ratio gate still bootstrapped a baseline via -update")
+	}
+
+	// A gate naming a benchmark outside the run is a configuration error.
+	sb.Reset()
+	if err := run([]string{"-bench", benchPath, "-ratio", "BenchmarkNope:BenchmarkFigure01:1"}, &sb); err == nil {
+		t.Error("gate on absent benchmark accepted")
+	}
+}

@@ -1,5 +1,5 @@
 // Command slicebench runs the repository's quantitative experiments
-// (EXPERIMENTS.md, tables E1–E4 and E6) over generated program
+// (EXPERIMENTS.md, tables E1–E4, E6 and E7) over generated program
 // corpora:
 //
 //	slicebench -exp precision   # E1: slice sizes per algorithm
@@ -7,6 +7,7 @@
 //	slicebench -exp timing      # E3: wall-clock scaling
 //	slicebench -exp traversals  # E4: PDT traversal distribution
 //	slicebench -exp dynamic     # E6: dynamic vs static slice sizes
+//	slicebench -exp incr        # E7: incremental re-analysis tiers
 //	slicebench -exp all
 //
 // Corpus shape is controlled by -seeds and -stmts. Corpus programs
@@ -56,6 +57,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"jumpslice/internal/exps"
 	"jumpslice/internal/obs"
@@ -76,7 +78,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|all")
+	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|incr|all")
 	seeds := fs.Int("seeds", 100, "number of generated programs per corpus")
 	stmts := fs.Int("stmts", 30, "approximate statements per program")
 	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
@@ -168,12 +170,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			printDynamic(out, rows)
 			return nil
 		},
+		"incr": func() error {
+			rows, err := exps.Incr(o)
+			if err != nil {
+				return err
+			}
+			report.E7 = rows
+			printIncr(out, rows)
+			return nil
+		},
 	}
 
 	var order []string
 	switch *exp {
 	case "all":
-		order = []string{"precision", "soundness", "traversals", "dynamic", "timing"}
+		// Wall-clock tables (E3, E7) print after the deterministic ones
+		// so byte-comparing runs only has to strip a suffix.
+		order = []string{"precision", "soundness", "traversals", "dynamic", "timing", "incr"}
 	default:
 		if steps[*exp] == nil {
 			return fmt.Errorf("unknown experiment %q", *exp)
@@ -288,6 +301,19 @@ func printDynamic(out io.Writer, rows []exps.DynamicRow) {
 		fmt.Fprintf(out, "%-13s %-12s dynamic %6.2f vs static %6.2f stmts (%.0f%%), %d cases\n",
 			r.Corpus, r.Profile, r.DynamicStmts, r.StaticStmts,
 			100*r.DynamicStmts/r.StaticStmts, r.Cases)
+	}
+}
+
+func printIncr(out io.Writer, rows []exps.IncrRow) {
+	fmt.Fprintf(out, "\nE7: incremental re-analysis over replayed edit scripts\n")
+	fmt.Fprintf(out, "%-13s %7s %8s %8s %6s %12s %12s %8s\n",
+		"corpus", "edits", "patched", "partial", "full", "mean incr", "mean cold", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-13s %7d %8d %8d %6d %12s %12s %7.1f%%\n",
+			r.Corpus, r.Edits, r.Patched, r.Partial, r.Full,
+			time.Duration(r.MeanIncrNs).Round(time.Microsecond),
+			time.Duration(r.MeanColdNs).Round(time.Microsecond),
+			100*r.MeanRatio)
 	}
 }
 

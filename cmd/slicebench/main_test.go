@@ -340,3 +340,45 @@ func TestTraceFlag(t *testing.T) {
 			report.Trace.Written, report.Trace.Buffered, report.Trace.Dropped)
 	}
 }
+
+// TestIncrTable covers E7 end to end: the printed table, the tier
+// counts (the replayed script has one edit per tier per line, so the
+// partition must be exact thirds), and the -json report rows.
+func TestIncrTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-exp", "incr", "-seeds", "4", "-stmts", "20",
+		"-json", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E7:", "patched", "partial", "full", "structured", "unstructured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("incr table missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report exps.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.E7) != 2 {
+		t.Fatalf("report.E7 has %d rows, want 2 corpora: %+v", len(report.E7), report.E7)
+	}
+	for _, r := range report.E7 {
+		if r.Edits == 0 || r.Patched+r.Partial+r.Full != r.Edits {
+			t.Errorf("%s: tier counts %d+%d+%d do not partition %d edits",
+				r.Corpus, r.Patched, r.Partial, r.Full, r.Edits)
+		}
+		if r.Patched != r.Partial || r.Partial != r.Full {
+			t.Errorf("%s: script replays one edit per tier per line, want equal thirds, got %d/%d/%d",
+				r.Corpus, r.Patched, r.Partial, r.Full)
+		}
+		if r.MeanRatio <= 0 || r.MeanIncrNs <= 0 || r.MeanColdNs <= 0 {
+			t.Errorf("%s: non-positive timing means: %+v", r.Corpus, r)
+		}
+	}
+}

@@ -17,6 +17,23 @@
 //	                    cache's verdict in X-Cache: hit, miss, or
 //	                    coalesced (joined another request's in-flight
 //	                    analysis).
+//	POST /session       open an incremental editor session: the body
+//	                    is the program source (raw, or JSON
+//	                    {"source":..}); the response carries the
+//	                    session ID and the analysis stays warm in the
+//	                    cache (budget-accounted, evictable).
+//	PATCH /session/{id} apply one edit and re-slice: ?var= &line=
+//	                    (&algo= &explain=) pick the criterion; the
+//	                    body is JSON {"edit":{"op":"replace",
+//	                    "line":N,"text":".."}} for a one-line edit,
+//	                    or a full source replacement. X-Incremental
+//	                    reports the reuse tier (patched, partial,
+//	                    full) and the response body includes the
+//	                    lines added/removed against the pre-edit
+//	                    slice. A failed edit leaves the session
+//	                    unchanged.
+//	DELETE /session/{id} close the session, releasing its cache
+//	                    residency.
 //	GET  /metrics       Prometheus text exposition (v0.0.4) of the
 //	                    metrics registry: slice/traversal/jump
 //	                    counters and phase histograms.
@@ -98,6 +115,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -214,6 +232,12 @@ type server struct {
 	// source; nil when disabled. Cached analyses are detached — each
 	// request binds its own view with Rebind.
 	cache *slicecache.Cache
+	// sessions maps open editor-session IDs to their source text; each
+	// session's analysis lives in cache under slicecache.SessionKey, so
+	// sessions and anonymous traffic share one byte budget.
+	sessID   atomic.Int64
+	smu      sync.Mutex
+	sessions map[string]*session
 	// unblock releases requests parked by the "block" failpoint; the
 	// resilience tests close it to let in-flight work finish.
 	unblock chan struct{}
@@ -233,12 +257,13 @@ func newServer(cfg config, logw io.Writer) *server {
 		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
 	s := &server{
-		cfg:     cfg,
-		reg:     obs.NewRegistry(),
-		fr:      obs.NewFlightRecorder(cfg.Flight),
-		logger:  log.New(logw, "", log.LstdFlags|log.Lmicroseconds),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		unblock: make(chan struct{}),
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		fr:       obs.NewFlightRecorder(cfg.Flight),
+		logger:   log.New(logw, "", log.LstdFlags|log.Lmicroseconds),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		unblock:  make(chan struct{}),
+		sessions: map[string]*session{},
 	}
 	s.tr = obs.NewTracer(s.fr)
 	if !cfg.CacheOff {
@@ -250,6 +275,13 @@ func newServer(cfg config, logw io.Writer) *server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/slice", s.methods(map[string]http.HandlerFunc{
 		http.MethodPost: s.gated(s.handleSlice),
+	}))
+	mux.HandleFunc("/session", s.methods(map[string]http.HandlerFunc{
+		http.MethodPost: s.gated(s.handleSessionOpen),
+	}))
+	mux.HandleFunc("/session/", s.methods(map[string]http.HandlerFunc{
+		http.MethodPatch:  s.gated(s.handleSessionPatch),
+		http.MethodDelete: s.handleSessionDelete,
 	}))
 	mux.HandleFunc("/metrics", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleMetrics,
@@ -616,7 +648,11 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		s.failErr(w, r, "request", err)
 		return
 	}
-	explain := r.URL.Query().Get("explain") == "1"
+	explain, err := boolParam(r, "explain")
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
 	// The slicer is deterministic, so the request tuple identifies the
 	// slice content and makes a valid strong validator. (The request
 	// and duration_ns response fields vary per request; they are

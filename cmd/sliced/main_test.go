@@ -341,9 +341,14 @@ func TestSliceErrors(t *testing.T) {
 // registry — from many goroutines; the CI race job runs it under
 // -race.
 func TestConcurrentSlices(t *testing.T) {
-	s, ts := newTestServer(t)
-	src := fig5(t)
 	const workers, perWorker = 8, 6
+	// Enough admission slots for every worker: this test exercises
+	// data races, not load shedding, and the default 2×GOMAXPROCS can
+	// shed on single-CPU machines.
+	cfg := testConfig(1 << 12)
+	cfg.MaxInflight = workers
+	s, ts := newTestServerConfig(t, cfg)
+	src := fig5(t)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers*perWorker)
 	for w := 0; w < workers; w++ {

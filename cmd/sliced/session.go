@@ -1,0 +1,450 @@
+package main
+
+// Editor sessions: the incremental serving surface.
+//
+// A session pins one program's analysis warm so that the repeated
+// edit → re-slice loop an editor integration produces is served by
+// the incremental engine (core.ReanalyzeProgram) instead of the full
+// pipeline. The session's analysis lives in the shared slicecache
+// under a domain-separated key — byte-accounted against the same
+// budget as anonymous /slice traffic and LRU-evicted under pressure —
+// so an idle session costs at most its cache residency, and a PATCH
+// that finds its analysis evicted transparently rebuilds cold.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jumpslice/internal/core"
+	"jumpslice/internal/incremental"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/slicecache"
+)
+
+// session is the daemon-side record of one open document: its current
+// source text and the identity its analysis is cached under. mu
+// serializes edits to this session; concurrent PATCHes of different
+// sessions do not contend.
+type session struct {
+	mu     sync.Mutex
+	id     string
+	source string
+}
+
+// sessionFor resolves the {id} path suffix of /session/{id} to the
+// live session, or answers 404.
+func (s *server) sessionFor(w http.ResponseWriter, r *http.Request) *session {
+	id := strings.TrimPrefix(r.URL.Path, "/session/")
+	if id == "" || strings.Contains(id, "/") {
+		s.fail(w, r, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
+		return nil
+	}
+	s.smu.Lock()
+	sess := s.sessions[id]
+	s.smu.Unlock()
+	if sess == nil {
+		s.fail(w, r, http.StatusNotFound, "unknown_session", "no open session %q", id)
+		return nil
+	}
+	return sess
+}
+
+// sessionResponse answers POST /session and DELETE /session/{id}.
+type sessionResponse struct {
+	Session    string `json:"session"`
+	Request    uint64 `json:"request"`
+	Statements int    `json:"statements,omitempty"`
+	Deleted    bool   `json:"deleted,omitempty"`
+}
+
+// sessionPatchResponse answers PATCH /session/{id}: the slice after
+// the edit, what the incremental engine did to produce it, and the
+// line-level delta against the pre-edit slice of the same criterion.
+type sessionPatchResponse struct {
+	sliceResponse
+	Session      string          `json:"session"`
+	Incremental  *core.IncrStats `json:"incremental"`
+	LinesAdded   []int           `json:"lines_added"`
+	LinesRemoved []int           `json:"lines_removed"`
+}
+
+// editRequest is the one-line edit form of a PATCH body:
+// {"edit":{"op":"replace","line":N,"text":"..."}}.
+type editRequest struct {
+	Op   string `json:"op"`
+	Line int    `json:"line"`
+	Text string `json:"text"`
+}
+
+// patchRequest is the JSON form of a PATCH /session/{id} body. Raw
+// (non-JSON) bodies are a full source replacement.
+type patchRequest struct {
+	Source string       `json:"source"`
+	Edit   *editRequest `json:"edit"`
+}
+
+// handleSessionOpen (POST /session) analyzes the submitted program,
+// parks the analysis in the cache under the new session's key, and
+// returns the session ID for subsequent PATCH traffic.
+func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		s.fail(w, r, http.StatusServiceUnavailable, "sessions_disabled",
+			"sessions require the analysis cache; restart without -cache-off")
+		return
+	}
+	source, err := s.readSource(w, r)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	tr := s.tr.ForRequest(requestID(r))
+	a, err := s.buildAnalysis(ctx, source, tr)
+	if err != nil {
+		s.failErr(w, r, "analyze", err)
+		return
+	}
+	id := strconv.FormatInt(s.sessID.Add(1), 10)
+	s.cache.PutKey(slicecache.SessionKey(id), source, a.Rebind(nil, s.reg, nil))
+	s.smu.Lock()
+	s.sessions[id] = &session{id: id, source: source}
+	s.smu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionResponse{
+		Session:    id,
+		Request:    requestID(r),
+		Statements: len(lang.Statements(a.Prog)),
+	})
+}
+
+// handleSessionPatch (PATCH /session/{id}) applies one edit — a
+// one-line replacement or a full source swap — re-analyzes through
+// the incremental engine, and re-slices the given criterion. The
+// X-Incremental header reports the reuse tier ("patched", "partial",
+// "full"); the body carries the slice plus its delta against the
+// pre-edit slice. A failed edit (bad line, parse error, size limit)
+// leaves the session exactly as it was.
+func (s *server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionFor(w, r)
+	if sess == nil {
+		return
+	}
+	crit, algo, err := parseCriterion(r.URL.Query())
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	explain, err := boolParam(r, "explain")
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	req, err := s.readPatch(w, r)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	id := requestID(r)
+	tr := s.tr.ForRequest(id)
+	start := time.Now()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	newSrc, err := req.apply(sess.source)
+	if err != nil {
+		s.failErr(w, r, "edit", err)
+		return
+	}
+	key := slicecache.SessionKey(sess.id)
+	prev, _ := s.cache.GetKey(key) // nil after eviction: plain cold run
+
+	// Fast path: a one-line edit against a warm analysis is spliced
+	// into the previous AST without reparsing the program. Anything
+	// else — full source swap, splice refusal, evicted session — goes
+	// through a parse; ReanalyzeProgram decides what survives either
+	// way, and falls back to the full pipeline when prev is nil.
+	var prog *lang.Program
+	if prev != nil && req.Edit != nil {
+		prog, _ = incremental.SpliceLine(prev.Prog, req.Edit.Line, req.Edit.Text)
+	}
+	if prog == nil {
+		prog, err = lang.Parse(newSrc)
+		if err != nil {
+			s.failErr(w, r, "analyze", httpErrorf(http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err))
+			return
+		}
+		if n := len(lang.Statements(prog)); n > s.cfg.MaxStmts {
+			s.failErr(w, r, "analyze", httpErrorf(http.StatusRequestEntityTooLarge, "program_too_large",
+				"program has %d statements, over the %d limit", n, s.cfg.MaxStmts))
+			return
+		}
+	}
+	a, stats, err := core.ReanalyzeProgram(ctx, prev, prog, s.reg, tr)
+	if err != nil {
+		s.failErr(w, r, "analyze", err)
+		return
+	}
+	w.Header().Set("X-Incremental", stats.Outcome)
+
+	// The edit is committed before slicing: the session now holds the
+	// new program whether or not the criterion below resolves.
+	sess.source = newSrc
+	s.cache.PutKey(key, newSrc, a.Rebind(nil, s.reg, nil))
+
+	sl, err := coreSlice(a, algo, crit)
+	if err != nil {
+		s.failErr(w, r, "slice", err)
+		return
+	}
+	resp := &sessionPatchResponse{
+		Session:     sess.id,
+		Incremental: stats,
+		sliceResponse: sliceResponse{
+			Request:    id,
+			Algorithm:  sl.Algorithm,
+			Var:        crit.Var,
+			Line:       crit.Line,
+			Lines:      sl.Lines(),
+			Traversals: sl.Traversals,
+			Text:       sl.Format(),
+		},
+	}
+	for _, nid := range sl.JumpsAdded {
+		resp.JumpLines = append(resp.JumpLines, a.CFG.Nodes[nid].Line)
+	}
+	if prev != nil {
+		resp.LinesAdded, resp.LinesRemoved = sliceDelta(prev, a, algo, crit, sl)
+	}
+	if explain {
+		p, err := sl.Explain()
+		if err != nil {
+			s.failErr(w, r, "explain", err)
+			return
+		}
+		resp.Reasons = p.LineReasons()
+		resp.Listing = p.Listing()
+	}
+	resp.DurationNS = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelete (DELETE /session/{id}) closes the session and
+// refunds its cache residency.
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionFor(w, r)
+	if sess == nil {
+		return
+	}
+	s.smu.Lock()
+	delete(s.sessions, sess.id)
+	s.smu.Unlock()
+	s.cache.DeleteKey(slicecache.SessionKey(sess.id))
+	writeJSON(w, http.StatusOK, sessionResponse{
+		Session: sess.id,
+		Request: requestID(r),
+		Deleted: true,
+	})
+}
+
+// apply computes the session's post-edit source text.
+func (req *patchRequest) apply(source string) (string, error) {
+	if req.Edit == nil {
+		return req.Source, nil
+	}
+	e := req.Edit
+	if e.Op != "replace" {
+		return "", httpErrorf(http.StatusBadRequest, "bad_request",
+			`unsupported edit op %q (want "replace")`, e.Op)
+	}
+	lines := strings.Split(source, "\n")
+	if e.Line < 1 || e.Line > len(lines) || (e.Line == len(lines) && lines[e.Line-1] == "") {
+		return "", httpErrorf(http.StatusBadRequest, "bad_request",
+			"edit line %d outside the program (1..%d)", e.Line, strings.Count(source, "\n"))
+	}
+	lines[e.Line-1] = e.Text
+	return strings.Join(lines, "\n"), nil
+}
+
+// sliceDelta reports the line-level delta between the pre- and
+// post-edit slices of one criterion, walked through the
+// allocation-free set-difference view. The pre-edit slice is computed
+// against the previous (still warm) analysis; a criterion the old
+// program cannot resolve yields no delta.
+func sliceDelta(prev, cur *core.Analysis, algo string, crit core.Criterion, sl *core.Slice) (added, removed []int) {
+	psl, err := coreSlice(prev, algo, crit)
+	if err != nil || psl.Nodes.Cap() != sl.Nodes.Cap() {
+		return nil, nil
+	}
+	added = deltaLines(sl.Nodes.Diff(psl.Nodes), cur)
+	removed = deltaLines(psl.Nodes.Diff(sl.Nodes), prev)
+	return added, removed
+}
+
+// deltaLines maps a node-set difference to its sorted distinct lines.
+func deltaLines(d interface{ Next(int) int }, a *core.Analysis) []int {
+	var lines []int
+	for i := d.Next(0); i >= 0; i = d.Next(i + 1) {
+		if l := a.CFG.Nodes[i].Line; l > 0 {
+			lines = append(lines, l)
+		}
+	}
+	sort.Ints(lines)
+	out := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// requestContext derives the handler context, applying the analysis
+// deadline when one is configured.
+func (s *server) requestContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// jsonBody reports whether a request body should be decoded as JSON:
+// either the client said so (Content-Type) or the body is
+// unambiguously a JSON object. The sniff matters in practice — curl
+// -d sends JSON under a form content type — and cannot misread a
+// program: the language has no string literals, so a brace-opened
+// body that json.Valid accepts is never valid program text.
+func jsonBody(r *http.Request, body []byte) bool {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		return true
+	}
+	trimmed := bytes.TrimSpace(body)
+	return len(trimmed) > 0 && trimmed[0] == '{' && json.Valid(trimmed)
+}
+
+// readSource reads a POST /session body: raw program text, or JSON
+// {"source": ...}.
+func (s *server) readSource(w http.ResponseWriter, r *http.Request) (string, error) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return "", err
+	}
+	source := string(body)
+	if jsonBody(r, body) {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", httpErrorf(http.StatusBadRequest, "bad_request", "decoding JSON body: %v", err)
+		}
+		source = req.Source
+	}
+	if strings.TrimSpace(source) == "" {
+		return "", httpErrorf(http.StatusBadRequest, "bad_request", "empty program source")
+	}
+	return source, nil
+}
+
+// readPatch reads a PATCH /session/{id} body: JSON with exactly one
+// of "source" (full replacement) or "edit" (one-line replacement), or
+// a raw non-JSON body as a full replacement.
+func (s *server) readPatch(w http.ResponseWriter, r *http.Request) (*patchRequest, error) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return nil, err
+	}
+	req := &patchRequest{}
+	if jsonBody(r, body) {
+		if err := json.Unmarshal(body, req); err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "bad_request", "decoding JSON body: %v", err)
+		}
+	} else {
+		req.Source = string(body)
+	}
+	switch {
+	case req.Edit != nil && req.Source != "":
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request",
+			`body sets both "source" and "edit"; send one`)
+	case req.Edit == nil && strings.TrimSpace(req.Source) == "":
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request",
+			`body must carry replacement "source" or an "edit"`)
+	}
+	return req, nil
+}
+
+// readBody drains the request body under the configured byte limit.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, httpErrorf(http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds the %d byte limit", mbe.Limit)
+		}
+		return nil, httpErrorf(http.StatusBadRequest, "bad_request", "reading body: %v", err)
+	}
+	return body, nil
+}
+
+// parseCriterion validates the var/line/algo query parameters shared
+// by /slice and PATCH /session/{id}.
+func parseCriterion(q url.Values) (core.Criterion, string, error) {
+	c := core.Criterion{Var: q.Get("var")}
+	if v := q.Get("line"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return c, "", httpErrorf(http.StatusBadRequest, "bad_request", "bad line %q: %v", v, err)
+		}
+		c.Line = n
+	}
+	algo := q.Get("algo")
+	if algo == "" {
+		algo = "agrawal"
+	}
+	switch {
+	case c.Var == "":
+		return c, "", httpErrorf(http.StatusBadRequest, "bad_request", "missing criterion variable (var)")
+	case c.Line <= 0:
+		return c, "", httpErrorf(http.StatusBadRequest, "bad_request", "missing or non-positive criterion line (line)")
+	}
+	for _, a := range knownAlgos {
+		if a == algo {
+			return c, algo, nil
+		}
+	}
+	return c, "", httpErrorf(http.StatusBadRequest, "unknown_algorithm",
+		"unknown algorithm %q (want %s)", algo, strings.Join(knownAlgos, ", "))
+}
+
+// boolParam parses an optional boolean query parameter strictly: an
+// absent parameter is false, anything strconv.ParseBool rejects is a
+// structured 422 — "?explain=yes" must not silently mean false.
+func boolParam(r *http.Request, name string) (bool, error) {
+	vs, present := r.URL.Query()[name]
+	if !present {
+		return false, nil
+	}
+	v := ""
+	if len(vs) > 0 {
+		v = vs[0]
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, httpErrorf(http.StatusUnprocessableEntity, "invalid_parameter",
+			"parameter %s must be a boolean (1/0/true/false), got %q", name, v)
+	}
+	return b, nil
+}

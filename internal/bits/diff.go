@@ -1,0 +1,77 @@
+package bits
+
+import "math/bits"
+
+// AndNot is an iterator view of the set difference a \ b. It holds
+// references to both sets and computes difference words on the fly,
+// so building one allocates nothing and materializes nothing — the
+// incremental reuse engine walks slice deltas (lines added by an
+// edit, lines removed) through this view without an intermediate set.
+// The view reads the underlying sets lazily; mutating them
+// invalidates it.
+type AndNot struct {
+	a, b *Set
+}
+
+// Diff returns an iterator view of s \ other. The sets must have the
+// same capacity.
+func (s *Set) Diff(other *Set) AndNot {
+	s.sameCap(other)
+	return AndNot{a: s, b: other}
+}
+
+// Next returns the smallest member >= i of the difference, or -1 if
+// there is none. Iterate like Set.NextSet:
+//
+//	for i := d.Next(0); i >= 0; i = d.Next(i + 1) { ... }
+func (d AndNot) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= d.a.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := (d.a.words[wi] &^ d.b.words[wi]) >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(d.a.words); wi++ {
+		if w := d.a.words[wi] &^ d.b.words[wi]; w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Count returns the number of members of the difference.
+func (d AndNot) Count() int {
+	total := 0
+	for wi, aw := range d.a.words {
+		total += bits.OnesCount64(aw &^ d.b.words[wi])
+	}
+	return total
+}
+
+// Empty reports whether the difference has no members.
+func (d AndNot) Empty() bool {
+	for wi, aw := range d.a.words {
+		if aw&^d.b.words[wi] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendMembers appends the members of the difference in increasing
+// order to dst and returns the extended slice.
+func (d AndNot) AppendMembers(dst []int) []int {
+	for wi, aw := range d.a.words {
+		w := aw &^ d.b.words[wi]
+		for w != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}

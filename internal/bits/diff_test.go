@@ -1,0 +1,105 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiffMatchesDifferenceWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		want := a.Clone()
+		want.DifferenceWith(b)
+
+		d := a.Diff(b)
+		if got := d.Count(); got != want.Len() {
+			t.Fatalf("n=%d: Count = %d, want %d", n, got, want.Len())
+		}
+		if d.Empty() != want.Empty() {
+			t.Fatalf("n=%d: Empty = %v, want %v", n, d.Empty(), want.Empty())
+		}
+		var got []int
+		for i := d.Next(0); i >= 0; i = d.Next(i + 1) {
+			got = append(got, i)
+		}
+		wantMembers := want.Members()
+		if len(got) != len(wantMembers) {
+			t.Fatalf("n=%d: members %v, want %v", n, got, wantMembers)
+		}
+		for i := range got {
+			if got[i] != wantMembers[i] {
+				t.Fatalf("n=%d: members %v, want %v", n, got, wantMembers)
+			}
+		}
+		appended := d.AppendMembers(nil)
+		if len(appended) != len(wantMembers) {
+			t.Fatalf("n=%d: AppendMembers %v, want %v", n, appended, wantMembers)
+		}
+	}
+}
+
+func TestDiffCapacityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diff on mismatched capacities should panic")
+		}
+	}()
+	New(10).Diff(New(20))
+}
+
+// TestDiffZeroAllocs pins the satellite requirement: constructing and
+// walking the difference view allocates nothing.
+func TestDiffZeroAllocs(t *testing.T) {
+	a, b := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		b.Add(i)
+	}
+	sink := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		d := a.Diff(b)
+		for i := d.Next(0); i >= 0; i = d.Next(i + 1) {
+			sink += i
+		}
+		sink += d.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("Diff iteration allocates %v allocs/op, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("iteration visited nothing")
+	}
+}
+
+func BenchmarkDiffIterate(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		d := x.Diff(y)
+		for j := d.Next(0); j >= 0; j = d.Next(j + 1) {
+			sink += j
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}

@@ -19,6 +19,7 @@ package cfg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"jumpslice/internal/lang"
 )
@@ -128,8 +129,35 @@ type Graph struct {
 	Exit  *Node
 
 	stmtNode map[lang.Stmt]*Node
+	stmtOnce sync.Once
 	// LabelNode maps each goto label to its target node.
 	LabelNode map[string]*Node
+	// arena is the contiguous backing Build carves nodes from;
+	// outArena/inArena back the initial Out/In slices the same way
+	// (two slots per node; wider fan-out spills to the allocator).
+	arena    []Node
+	outArena []Edge
+	inArena  []int
+}
+
+// takeOut carves an empty capacity-2 edge slice from the arena, or
+// returns nil (letting append allocate) once it is exhausted.
+func (g *Graph) takeOut() []Edge {
+	if len(g.outArena)+2 > cap(g.outArena) {
+		return nil
+	}
+	off := len(g.outArena)
+	g.outArena = g.outArena[:off+2]
+	return g.outArena[off : off : off+2]
+}
+
+func (g *Graph) takeIn() []int {
+	if len(g.inArena)+2 > cap(g.inArena) {
+		return nil
+	}
+	off := len(g.inArena)
+	g.inArena = g.inArena[:off+2]
+	return g.inArena[off : off : off+2]
 }
 
 // NodeFor returns the flowgraph node of a statement, or nil if the
@@ -139,7 +167,29 @@ func (g *Graph) NodeFor(s lang.Stmt) *Node {
 	if s == nil {
 		return nil
 	}
+	g.ensureStmtNode()
 	return g.stmtNode[lang.Unlabel(s)]
+}
+
+// ensureStmtNode builds the statement→node index on first use. Build
+// fills it eagerly (the builder itself needs it); Rebind leaves it
+// nil because most rebound graphs are only ever queried by node ID,
+// and reconstructing it here from Nodes is safe whenever someone does
+// ask. The sync.Once makes the lazy build race-free for graphs shared
+// across slicing goroutines.
+func (g *Graph) ensureStmtNode() {
+	g.stmtOnce.Do(func() {
+		if g.stmtNode != nil {
+			return
+		}
+		m := make(map[lang.Stmt]*Node, len(g.Nodes))
+		for _, n := range g.Nodes {
+			if n.Stmt != nil {
+				m[n.Stmt] = n
+			}
+		}
+		g.stmtNode = m
+	})
 }
 
 // EntryOf returns the node control reaches when entering statement s:
@@ -147,14 +197,19 @@ func (g *Graph) NodeFor(s lang.Stmt) *Node {
 // first inner node of a block. Empty blocks own a skip node, so the
 // result is never nil for a statement of a built program.
 func (g *Graph) EntryOf(s lang.Stmt) *Node {
+	g.ensureStmtNode()
+	return g.entryOf(s)
+}
+
+func (g *Graph) entryOf(s lang.Stmt) *Node {
 	switch s := s.(type) {
 	case *lang.LabeledStmt:
-		return g.EntryOf(s.Stmt)
+		return g.entryOf(s.Stmt)
 	case *lang.BlockStmt:
 		if len(s.List) == 0 {
 			return g.stmtNode[s]
 		}
-		return g.EntryOf(s.List[0])
+		return g.entryOf(s.List[0])
 	default:
 		return g.stmtNode[s]
 	}
@@ -241,7 +296,20 @@ func (g *Graph) CanReachExit() []bool {
 }
 
 func (g *Graph) addNode(kind Kind, s lang.Stmt) *Node {
-	n := &Node{ID: len(g.Nodes), Kind: kind, Stmt: s}
+	var n *Node
+	// Nodes are carved out of the arena Build pre-sized, one malloc
+	// for the whole graph instead of one per statement. If the count
+	// estimate was short (it never is for parsed programs), spill to
+	// individual allocations — pointers into the arena stay valid.
+	if len(g.arena) < cap(g.arena) {
+		g.arena = g.arena[:len(g.arena)+1]
+		n = &g.arena[len(g.arena)-1]
+	} else {
+		n = &Node{}
+	}
+	n.ID = len(g.Nodes)
+	n.Kind = kind
+	n.Stmt = s
 	if s != nil {
 		n.Line = s.Pos().Line
 	}
@@ -252,6 +320,25 @@ func (g *Graph) addNode(kind Kind, s lang.Stmt) *Node {
 	return n
 }
 
+// countNodes predicts how many flowgraph nodes createNodes will make
+// for the program: every statement except label wrappers and
+// non-empty blocks bears a node, and empty blocks get a skip node.
+func countNodes(p *lang.Program) int {
+	count := 0
+	lang.WalkProgram(p, func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.LabeledStmt:
+		case *lang.BlockStmt:
+			if len(s.List) == 0 {
+				count++
+			}
+		default:
+			count++
+		}
+	})
+	return count
+}
+
 // AddEdge appends an extra labeled edge to a built graph. Its intended
 // use is constructing the augmented flowgraph of Ball–Horwitz and
 // Choi–Ferrante: one additional edge from every jump statement to its
@@ -259,6 +346,12 @@ func (g *Graph) addNode(kind Kind, s lang.Stmt) *Node {
 func (g *Graph) AddEdge(from, to *Node, label string) { g.addEdge(from, to, label) }
 
 func (g *Graph) addEdge(from, to *Node, label string) {
+	if from.Out == nil {
+		from.Out = g.takeOut()
+	}
+	if to.In == nil {
+		to.In = g.takeIn()
+	}
 	from.Out = append(from.Out, Edge{From: from.ID, To: to.ID, Label: label})
 	to.In = append(to.In, from.ID)
 }
@@ -267,10 +360,23 @@ func (g *Graph) addEdge(from, to *Node, label string) {
 // only for structural problems the parser cannot detect; a
 // successfully parsed program always builds.
 func Build(p *lang.Program) (*Graph, error) {
+	return BuildSized(p, countNodes(p))
+}
+
+// BuildSized is Build with the node count supplied by the caller —
+// the incremental engine already knows it from the previous
+// flowgraph, saving the counting walk. The hint only sizes
+// allocations; a wrong hint costs speed, never correctness.
+func BuildSized(p *lang.Program, hint int) (*Graph, error) {
+	n := hint + 2 // + Entry, Exit
 	g := &Graph{
 		Prog:      p,
-		stmtNode:  map[lang.Stmt]*Node{},
+		Nodes:     make([]*Node, 0, n),
+		stmtNode:  make(map[lang.Stmt]*Node, n),
 		LabelNode: map[string]*Node{},
+		arena:     make([]Node, 0, n),
+		outArena:  make([]Edge, 0, 2*n),
+		inArena:   make([]int, 0, 2*n),
 	}
 	b := &builder{g: g}
 

@@ -1,0 +1,116 @@
+package cfg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/incremental"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/paper"
+	"jumpslice/internal/progen"
+)
+
+// requireSameGraph asserts the rebound graph is indistinguishable
+// from a fresh Build of the same program: shape, lines, statement
+// mapping, label map and jump targets.
+func requireSameGraph(t *testing.T, name string, p *lang.Program, got, want *cfg.Graph) {
+	t.Helper()
+	if !incremental.SameShapeCFG(got, want) {
+		t.Fatalf("%s: rebound graph shape differs from fresh build", name)
+	}
+	for i, wn := range want.Nodes {
+		gn := got.Nodes[i]
+		if gn.Line != wn.Line {
+			t.Fatalf("%s: node %d line %d, want %d", name, i, gn.Line, wn.Line)
+		}
+		if (gn.Target == nil) != (wn.Target == nil) {
+			t.Fatalf("%s: node %d target nil-ness differs", name, i)
+		}
+		if gn.Target != nil && gn.Target.ID != wn.Target.ID {
+			t.Fatalf("%s: node %d target %d, want %d", name, i, gn.Target.ID, wn.Target.ID)
+		}
+		if wn.Stmt != nil {
+			if got.NodeFor(wn.Stmt) == nil {
+				// Statements differ between parses; compare via mapping below.
+				t.Fatalf("%s: node %d statement not mapped", name, i)
+			}
+		}
+	}
+	for label, wn := range want.LabelNode {
+		gn, ok := got.LabelNode[label]
+		if !ok || gn.ID != wn.ID {
+			t.Fatalf("%s: label %q maps to %v, want node %d", name, label, gn, wn.ID)
+		}
+	}
+	for _, s := range lang.Statements(p) {
+		gn, wn := got.NodeFor(s), want.NodeFor(s)
+		if gn == nil || wn == nil || gn.ID != wn.ID {
+			t.Fatalf("%s: statement %q maps to %v, want %v", name, lang.StmtString(s), gn, wn)
+		}
+	}
+}
+
+// TestRebindMatchesBuild rebinds every paper figure and a spread of
+// generated programs onto a fresh parse of their own source: the
+// result must be byte-for-byte the graph Build produces.
+func TestRebindMatchesBuild(t *testing.T) {
+	var cases []struct {
+		name string
+		src  string
+	}
+	for _, f := range paper.All() {
+		cases = append(cases, struct{ name, src string }{f.Name, f.Source})
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		p := progen.Structured(progen.Config{Seed: seed, Stmts: 60})
+		cases = append(cases, struct{ name, src string }{
+			fmt.Sprintf("structured-%d", seed), lang.Format(p, lang.PrintOptions{})})
+		u := progen.Unstructured(progen.Config{Seed: seed, Stmts: 60})
+		cases = append(cases, struct{ name, src string }{
+			fmt.Sprintf("unstructured-%d", seed), lang.Format(u, lang.PrintOptions{})})
+	}
+	for _, c := range cases {
+		prev, err := cfg.Build(lang.MustParse(c.src))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		p2 := lang.MustParse(c.src)
+		got, ok := cfg.Rebind(prev, p2)
+		if !ok {
+			t.Fatalf("%s: Rebind refused a same-shape program", c.name)
+		}
+		want, err := cfg.Build(p2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		requireSameGraph(t, c.name, p2, got, want)
+	}
+}
+
+// TestRebindRefusesShapeChanges feeds Rebind programs whose shape
+// differs from the donor graph; every one must be refused.
+func TestRebindRefusesShapeChanges(t *testing.T) {
+	const src = `read(x);
+L1: if (x > 0) {
+    x = x - 1;
+    goto L1;
+}
+write(x);
+`
+	prev, err := cfg.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]string{
+		"extra statement":  "read(x);\nL1: if (x > 0) {\n    x = x - 1;\n    goto L1;\n}\nwrite(x);\nwrite(x);\n",
+		"fewer statements": "read(x);\nL1: if (x > 0) {\n    x = x - 1;\n    goto L1;\n}\n",
+		"kind change":      "read(x);\nL1: if (x > 0) {\n    read(x);\n    goto L1;\n}\nwrite(x);\n",
+		"label rename":     "read(x);\nL2: if (x > 0) {\n    x = x - 1;\n    goto L2;\n}\nwrite(x);\n",
+		"label moved":      "read(x);\nif (x > 0) {\n    L1: x = x - 1;\n    goto L1;\n}\nwrite(x);\n",
+	} {
+		if _, ok := cfg.Rebind(prev, lang.MustParse(bad)); ok {
+			t.Errorf("%s: Rebind accepted a shape change", name)
+		}
+	}
+}

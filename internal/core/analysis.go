@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"jumpslice/internal/bits"
 	"jumpslice/internal/cdg"
@@ -186,10 +187,15 @@ type condJumpPair struct {
 }
 
 // batchState is the shared lazily-built batch-engine state of one
-// Analysis and all its Rebind views.
+// Analysis and all its Rebind views. The condensation sits behind an
+// atomic pointer for two reasons: Reanalyze pre-seeds it with a
+// patched condensation before the Analysis is shared (the once then
+// observes the seed and skips its build), and Reanalyze peeks at a
+// *previous* Analysis's condensation while other views of it may be
+// slicing concurrently.
 type batchState struct {
 	once sync.Once
-	cond *pdg.Condensation
+	cond atomic.Pointer[pdg.Condensation]
 }
 
 // Analyze parses nothing: it takes an already-parsed program and

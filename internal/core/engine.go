@@ -78,6 +78,9 @@ func (a *Analysis) engine() depEngine { return bfsEngine{a.PDG, a.cancelf} }
 // skips the normalization passes entirely.
 func (a *Analysis) batchEngine() depEngine {
 	a.batch.once.Do(func() {
+		if a.batch.cond.Load() != nil {
+			return // pre-seeded by the incremental engine
+		}
 		sp := a.rec.StartSpan("phase.analyze.condense")
 		ts := a.tr.StartSpan("phase.analyze.condense")
 		defer func() { ts.End(); sp.End() }()
@@ -101,12 +104,13 @@ func (a *Analysis) batchEngine() depEngine {
 				aug[v] = deps
 			}
 		}
-		a.batch.cond = pdg.Condense(aug)
-		a.batch.cond.Instrument(
+		cond := pdg.Condense(aug)
+		cond.Instrument(
 			a.rec.Counter("pdg.closure_requests"),
 			a.rec.Counter("pdg.closure_hits"),
 			a.rec.Counter("pdg.closure_builds"))
-		a.batch.cond.Trace(a.tr)
+		cond.Trace(a.tr)
+		a.batch.cond.Store(cond)
 	})
-	return condEngine{a.batch.cond, a.cancelf}
+	return condEngine{a.batch.cond.Load(), a.cancelf}
 }

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/dataflow"
+	"jumpslice/internal/incremental"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/obs"
+	"jumpslice/internal/pdg"
+)
+
+// numPhases is the number of construction phases the incremental
+// accounting covers: cfg, postdominators, cdg, dataflow, pdg, lst,
+// worklists (the phase.analyze.* spans of a cold run).
+const numPhases = 7
+
+// IncrStats reports what the incremental engine did for one
+// re-analysis.
+type IncrStats struct {
+	// Outcome names the tier that ran: "patched" (flowgraph shape and
+	// every definition survived; only edited dependence rows were
+	// recomputed), "partial" (shape survived but a definition changed,
+	// so dataflow was re-run), or "full" (a clean cold analysis).
+	Outcome string `json:"outcome"`
+	// PhasesReused / PhasesRecomputed partition the cold pipeline's
+	// phases by whether the previous result was carried over.
+	PhasesReused     int `json:"phases_reused"`
+	PhasesRecomputed int `json:"phases_recomputed"`
+	// CondensationPatched reports that the previous analysis's batch
+	// condensation (with its memoized closures) survived via
+	// Condensation.Patched instead of being dropped for lazy rebuild.
+	CondensationPatched bool `json:"condensation_patched"`
+	// Fallback is the reason a full run happened ("" otherwise).
+	Fallback string `json:"fallback,omitempty"`
+	// Edits is the statement-level edit script of the diff, for
+	// reporting.
+	Edits []incremental.Edit `json:"edits,omitempty"`
+}
+
+// incrMetrics resolves the incremental engine's counters: reused and
+// recomputed phase counts, and full-pipeline fallbacks.
+type incrMetrics struct {
+	reused, recomputed, fallbacks *obs.Counter
+}
+
+func resolveIncrMetrics(rec obs.Recorder) incrMetrics {
+	return incrMetrics{
+		reused:     rec.Counter("incr.reused"),
+		recomputed: rec.Counter("incr.recomputed"),
+		fallbacks:  rec.Counter("incr.fallbacks"),
+	}
+}
+
+// Reanalyze re-derives an Analysis for newSrc, reusing whatever the
+// previous analysis proves still valid. The result is always exactly
+// what Analyze(Parse(newSrc)) would produce — reuse never depends on
+// the differ being clever, only on the structural safety checks
+// holding — so callers can treat it as a faster Analyze. prev may be
+// nil (a plain cold analysis).
+func Reanalyze(prev *Analysis, newSrc string) (*Analysis, *IncrStats, error) {
+	prog, err := lang.Parse(newSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ReanalyzeProgram(context.Background(), prev, prog, nil, nil)
+}
+
+// ReanalyzeObservedContext is Reanalyze with the full observability
+// surface of AnalyzeObservedContext.
+func ReanalyzeObservedContext(ctx context.Context, prev *Analysis, newSrc string, rec obs.Recorder, tr *obs.Tracer) (*Analysis, *IncrStats, error) {
+	prog, err := lang.Parse(newSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ReanalyzeProgram(ctx, prev, prog, rec, tr)
+}
+
+// ReanalyzeProgram is the parse-free core of Reanalyze, for callers
+// that already hold the new program's AST (e.g. from
+// incremental.SpliceLine, which avoids the full reparse that would
+// otherwise dominate a one-line edit).
+//
+// Tier decision:
+//
+//   - The ASTs are diffed statement by statement. Any structural
+//     difference — statement inserted, deleted, kind changed, label or
+//     goto target or case value changed — falls back to a cold
+//     AnalyzeObservedContext ("full").
+//   - Same shape with every definition intact reuses the
+//     postdominator tree, CDG, LST, dataflow and all precomputed
+//     worklists (they are pure functions of flowgraph shape, or of
+//     shape plus definition sites); only the flowgraph is rebuilt and
+//     the edited statements' dependence rows recomputed ("patched").
+//     If the previous analysis had built its batch condensation and
+//     the edit provably neither merges nor splits a dependence SCC,
+//     the condensation and its memoized closures are patched over too.
+//   - Same shape but with a changed definition re-runs dataflow and
+//     the PDG merge on top of the reused shape-derived structures
+//     ("partial").
+//
+// The freshly built flowgraph is verified node-for-node against the
+// previous one before anything is reused, so a differ bug degrades to
+// a full run, never to a wrong slice.
+func ReanalyzeProgram(ctx context.Context, prev *Analysis, prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Analysis, *IncrStats, error) {
+	rec = obs.OrNop(rec)
+	im := resolveIncrMetrics(rec)
+	sp := rec.StartSpan("phase.reanalyze")
+	ts := tr.StartSpan("phase.reanalyze")
+	defer func() { ts.End(); sp.End() }()
+
+	stats := &IncrStats{}
+	full := func(reason string) (*Analysis, *IncrStats, error) {
+		stats.Outcome = "full"
+		stats.Fallback = reason
+		stats.PhasesReused = 0
+		stats.PhasesRecomputed = numPhases
+		im.fallbacks.Add(1)
+		im.recomputed.Add(numPhases)
+		a, err := AnalyzeObservedContext(ctx, prog, rec, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, stats, nil
+	}
+
+	if prev == nil {
+		return full("no previous analysis")
+	}
+	sc := incremental.Diff(prev.Prog, prog)
+	stats.Edits = sc.Edits
+	if !sc.SameShape {
+		return full(sc.Mismatch)
+	}
+
+	// Re-derive the flowgraph by rebinding the previous node table
+	// onto the new statements — the graph is structural, so a
+	// same-shape program has the same one. Rebind re-verifies the
+	// shape claim position by position (kinds, labels, goto targets)
+	// and refuses anything the differ should have caught, so a differ
+	// bug degrades to a full run, never to a wrong graph.
+	g2, ok := cfg.Rebind(prev.CFG, prog)
+	if !ok {
+		return full("flowgraph rebind mismatch")
+	}
+
+	a := &Analysis{
+		Prog:  prog,
+		CFG:   g2,
+		batch: &batchState{},
+		rec:   rec,
+		tr:    tr,
+	}
+	a.m.resolve(rec)
+	a.bindContext(ctx)
+	if err := a.checkCancel("reanalyze"); err != nil {
+		return nil, nil, err
+	}
+
+	// Shape-pure structures: the postdominator tree holds no graph
+	// reference and is shared outright; CDG and LST are shallow-copied
+	// with their graph pointer rebound so queries resolve against the
+	// new nodes.
+	a.PDT = prev.PDT
+	cd := *prev.CDG
+	cd.CFG = g2
+	a.CDG = &cd
+	lt := *prev.LST
+	lt.CFG = g2
+	a.LST = &lt
+
+	// Worklists: live, switch enclosure, jump preorders and
+	// conditional-jump pairs are all functions of shape and node IDs;
+	// goto nodes are pointers and re-resolve into the new graph.
+	a.live = prev.live
+	a.enclosingSwitch = prev.enclosingSwitch
+	a.jumpsPDT = prev.jumpsPDT
+	a.jumpsLST = prev.jumpsLST
+	a.condJumps = prev.condJumps
+	a.switchNodes = prev.switchNodes
+	a.gotoNodes = make([]*cfg.Node, len(prev.gotoNodes))
+	for i, n := range prev.gotoNodes {
+		a.gotoNodes[i] = g2.Nodes[n.ID]
+	}
+
+	defChanged := false
+	for _, r := range sc.Replaced {
+		if r.DefChanged {
+			defChanged = true
+			break
+		}
+	}
+	if defChanged {
+		// Partial tier: a definition site changed variables, so the
+		// reaching-definitions frontier moved — re-run dataflow and
+		// the PDG merge on the reused shape-derived structures.
+		stats.Outcome = "partial"
+		stats.PhasesReused = 4     // postdominators, cdg, lst, worklists
+		stats.PhasesRecomputed = 3 // cfg, dataflow, pdg
+		a.RD = dataflow.Reach(g2)
+		if err := a.checkCancel("reanalyze"); err != nil {
+			return nil, nil, err
+		}
+		a.PDG = pdg.Build(g2, a.CDG, a.RD)
+	} else {
+		// Patched tier: same definitions everywhere, so reaching
+		// definitions are untouched; only the edited statements' data
+		// dependence rows can differ.
+		stats.Outcome = "patched"
+		stats.PhasesReused = 5     // postdominators, cdg, dataflow, lst, worklists
+		stats.PhasesRecomputed = 2 // cfg, pdg rows
+		a.RD = prev.RD.WithGraph(g2)
+		changed := make(map[int][]int, len(sc.Replaced))
+		for _, r := range sc.Replaced {
+			// Resolve through the previous graph's statement index —
+			// positions are identical across a same-shape rebind, and
+			// prev's index is already built while g2's would have to be
+			// materialized just for this lookup.
+			pn := prev.CFG.NodeFor(r.Old)
+			if pn == nil {
+				return full("edited statement has no flowgraph node")
+			}
+			n := g2.Nodes[pn.ID]
+			changed[n.ID] = a.RD.DataDepsOf(n)
+		}
+		a.PDG = prev.PDG.Rederive(g2, a.CDG, changed)
+		a.patchCondensation(prev, changed, stats)
+	}
+	im.reused.Add(int64(stats.PhasesReused))
+	im.recomputed.Add(int64(stats.PhasesRecomputed))
+	return a, stats, nil
+}
+
+// patchCondensation tries to carry the previous analysis's batch
+// condensation — and its memoized component closures — across a
+// patched-tier edit. The previous condensation is read through its
+// atomic slot (other views of prev may be slicing concurrently) and
+// is never modified; Patched refuses any edit that might merge or
+// split a component, in which case the new analysis simply rebuilds
+// its condensation lazily on the next SliceAll.
+func (a *Analysis) patchCondensation(prev *Analysis, changed map[int][]int, stats *IncrStats) {
+	prevCond := prev.batch.cond.Load()
+	if prevCond == nil {
+		return
+	}
+	// Augment the edited rows exactly as batchEngine augments the full
+	// relation: dependence row, then the conditional-jump edge, then
+	// the switch-enclosure edge. Extras are shape-derived and did not
+	// change — only the dependence part of each edited row did.
+	rows := make(map[int][]int, len(changed))
+	for id := range changed {
+		deps := a.PDG.Deps(id)
+		row := make([]int, 0, len(deps)+2)
+		row = append(row, deps...)
+		for _, cj := range a.condJumps {
+			if cj.pred == id {
+				row = append(row, cj.jump)
+			}
+		}
+		if sw := a.enclosingSwitch[id]; sw >= 0 {
+			row = append(row, sw)
+		}
+		rows[id] = row
+	}
+	q, ok := prevCond.Patched(rows)
+	if !ok {
+		return
+	}
+	q.Instrument(
+		a.rec.Counter("pdg.closure_requests"),
+		a.rec.Counter("pdg.closure_hits"),
+		a.rec.Counter("pdg.closure_builds"))
+	q.Trace(a.tr)
+	a.batch.cond.Store(q)
+	stats.CondensationPatched = true
+	stats.PhasesReused++ // the condensation survived as an eighth phase
+}

@@ -210,24 +210,46 @@ func (r *ReachingDefs) ReachingDefsOf(n int, v string) []int {
 // variable the node uses.
 func (r *ReachingDefs) DataDeps() [][]int {
 	out := make([][]int, len(r.g.Nodes))
-	for i, n := range r.g.Nodes {
-		seen := map[int]bool{}
-		for _, v := range usesOf(n) {
-			for _, d := range r.ReachingDefsOf(i, v) {
-				seen[d] = true
-			}
-		}
-		if len(seen) == 0 {
-			continue
-		}
-		deps := make([]int, 0, len(seen))
-		for d := range seen {
-			deps = append(deps, d)
-		}
-		sort.Ints(deps)
-		out[i] = deps
+	for _, n := range r.g.Nodes {
+		out[n.ID] = r.DataDepsOf(n)
 	}
 	return out
+}
+
+// DataDepsOf returns the sorted set of node IDs a single node is
+// directly data dependent on. The node may belong to a
+// shape-identical copy of the analyzed graph — only its ID, kind, and
+// statement are consulted — which is how the incremental engine
+// recomputes the dependence row of an edited statement against an
+// unchanged reaching-definitions result.
+func (r *ReachingDefs) DataDepsOf(n *cfg.Node) []int {
+	seen := map[int]bool{}
+	for _, v := range usesOf(n) {
+		for _, d := range r.ReachingDefsOf(n.ID, v) {
+			seen[d] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	deps := make([]int, 0, len(seen))
+	for d := range seen {
+		deps = append(deps, d)
+	}
+	sort.Ints(deps)
+	return deps
+}
+
+// WithGraph returns a view of the same reaching-definitions result
+// bound to a different flowgraph, which must be shape-identical to
+// the analyzed one (same node IDs, kinds, and definition sites). The
+// In/Out sets and definition index are shared — they are immutable
+// after Reach — so the view is free; it exists so a reused dataflow
+// result answers queries about nodes of a freshly rebuilt graph.
+func (r *ReachingDefs) WithGraph(g *cfg.Graph) *ReachingDefs {
+	q := *r
+	q.g = g
+	return &q
 }
 
 // LiveVars is the result of live-variable analysis: In[n] holds the

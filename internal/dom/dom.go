@@ -62,6 +62,22 @@ type Tree struct {
 // Children returns v's children in the tree, in ascending ID order.
 func (t *Tree) Children(v int) []int { return t.children[v] }
 
+// Equal reports whether two trees encode the same dominance relation:
+// same root and the same immediate dominator for every node. The
+// incremental engine's tests use it to certify that a reused
+// postdominator tree matches the one a cold rebuild would produce.
+func (t *Tree) Equal(other *Tree) bool {
+	if t.Root != other.Root || len(t.Idom) != len(other.Idom) {
+		return false
+	}
+	for v, d := range t.Idom {
+		if other.Idom[v] != d {
+			return false
+		}
+	}
+	return true
+}
+
 // Reachable reports whether v participates in the tree (is reachable
 // from the root in the underlying graph).
 func (t *Tree) Reachable(v int) bool { return v == t.Root || t.Idom[v] >= 0 }

@@ -1,5 +1,5 @@
 // Package exps implements the repository's quantitative experiments
-// (EXPERIMENTS.md, tables E1–E4 and E6) over generated program
+// (EXPERIMENTS.md, tables E1–E4, E6 and E7) over generated program
 // corpora. cmd/slicebench is a thin flag-and-printing wrapper around
 // this package; keeping the engines importable lets bench_test.go
 // measure them (serial versus parallel) and lets other tools reuse
@@ -24,6 +24,7 @@ import (
 	"jumpslice/internal/baselines"
 	"jumpslice/internal/core"
 	"jumpslice/internal/dynslice"
+	"jumpslice/internal/incremental"
 	"jumpslice/internal/interp"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/obs"
@@ -94,6 +95,7 @@ type Report struct {
 	E3       []TimingRow    `json:"timing,omitempty"`
 	E4       []TraversalRow `json:"traversals,omitempty"`
 	E6       []DynamicRow   `json:"dynamic,omitempty"`
+	E7       []IncrRow      `json:"incremental,omitempty"`
 	// Metrics is the recorder snapshot taken after the run, when the
 	// caller attached an Options.Recorder: phase timings, traversal
 	// and jump counters, closure cache statistics.
@@ -173,6 +175,24 @@ type DynamicRow struct {
 	DynamicStmts float64 `json:"dynamic_stmts"`
 	StaticStmts  float64 `json:"static_stmts"`
 	Cases        int     `json:"cases"`
+}
+
+// IncrRow is one E7 table row: outcomes of a replayed edit script on
+// one corpus. Edits partitions into the three reuse tiers of
+// core.ReanalyzeProgram; the ratio compares the incremental
+// re-analysis against a cold parse-free re-analysis of the same
+// edited program.
+type IncrRow struct {
+	Corpus  string `json:"corpus"`
+	Edits   int    `json:"edits"`
+	Patched int    `json:"patched"`
+	Partial int    `json:"partial"`
+	Full    int    `json:"full"`
+	// MeanRatio is the mean per-edit incremental/cold wall-clock
+	// ratio; MeanIncrNs and MeanColdNs are the component means.
+	MeanRatio  float64 `json:"mean_incr_cold_ratio"`
+	MeanIncrNs float64 `json:"mean_incr_ns"`
+	MeanColdNs float64 `json:"mean_cold_ns"`
 }
 
 // TimingRow is one E3 table row: mean wall-clock per slice for an
@@ -661,6 +681,163 @@ func Timing(o Options) ([]TimingRow, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// incrEdits builds the deterministic per-seed edit script of E7: for
+// up to three spliceable assignment lines (first, middle, last — the
+// positions an editor loop actually touches), three one-line edits
+// each designed to land in a different reuse tier. Whether a tier is
+// actually reached is measured, not assumed — that is the point of
+// the experiment.
+func incrEdits(p *lang.Program) []struct {
+	Line int
+	Text string
+} {
+	var cands []*lang.AssignStmt
+	for _, s := range lang.Statements(p) {
+		as, ok := s.(*lang.AssignStmt)
+		if !ok {
+			continue
+		}
+		if _, ok := incremental.SpliceLine(p, as.Pos().Line, as.Name+" = 0;"); ok {
+			cands = append(cands, as)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	picks := []*lang.AssignStmt{cands[0]}
+	if len(cands) > 2 {
+		picks = append(picks, cands[len(cands)/2])
+	}
+	if len(cands) > 1 {
+		picks = append(picks, cands[len(cands)-1])
+	}
+	var edits []struct {
+		Line int
+		Text string
+	}
+	for _, as := range picks {
+		line := as.Pos().Line
+		edits = append(edits,
+			// Same defined variable, new expression: shape and defs
+			// survive, so the patched tier should absorb it.
+			struct {
+				Line int
+				Text string
+			}{line, fmt.Sprintf("%s = %s + 1;", as.Name, as.Name)},
+			// New defined variable: shape survives but a definition
+			// moved, so dataflow must re-run (partial tier).
+			struct {
+				Line int
+				Text string
+			}{line, fmt.Sprintf("e7_%s = %s;", as.Name, as.Name)},
+			// Statement kind change: the flowgraph rebind refuses and
+			// the engine falls back to a full cold run.
+			struct {
+				Line int
+				Text string
+			}{line, fmt.Sprintf("write(%s);", as.Name)},
+		)
+	}
+	return edits
+}
+
+// Incr computes E7: replay a deterministic edit script per seed
+// through the incremental re-analysis engine and report how edits
+// distribute over the reuse tiers, plus the wall-clock ratio of the
+// incremental path against a cold re-analysis of the same edited
+// program. The base analysis is warmed with one SliceAll — the state
+// a sliced session holds — so condensation patching is exercised.
+func Incr(o Options) ([]IncrRow, error) {
+	ctx := o.ctx()
+	type totals struct {
+		edits, patched, partial, full int
+		ratioSum, incrNs, coldNs      float64
+	}
+	var rows []IncrRow
+	for _, corpus := range CorpusNames() {
+		gen := generator(corpus, o.Stmts)
+		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (totals, error) {
+			p := gen(seed)
+			// The previous analysis is built cold and privately: the
+			// run cache would hand out an analysis shared with other
+			// experiments, and warming its condensation here would
+			// leak E7's access pattern into their measurements.
+			prev, err := core.AnalyzeObservedContext(ctx, p, o.Recorder, o.Tracer)
+			if err != nil {
+				return totals{}, fmt.Errorf("seed %d: %w", seed, err)
+			}
+			wcs := progen.WriteCriteria(p)
+			if len(wcs) > 0 {
+				c := core.Criterion{Var: wcs[len(wcs)-1].Var, Line: wcs[len(wcs)-1].Line}
+				if _, err := prev.SliceAll([]core.Criterion{c}); err != nil {
+					return totals{}, fmt.Errorf("seed %d: warm slice: %w", seed, err)
+				}
+			}
+			var t totals
+			for _, e := range incrEdits(p) {
+				p2, ok := incremental.SpliceLine(p, e.Line, e.Text)
+				if !ok {
+					continue
+				}
+				start := time.Now()
+				_, stats, err := core.ReanalyzeProgram(ctx, prev, p2, o.Recorder, o.Tracer)
+				incr := time.Since(start)
+				if err != nil {
+					return totals{}, fmt.Errorf("seed %d line %d: %w", seed, e.Line, err)
+				}
+				start = time.Now()
+				if _, err := core.AnalyzeObservedContext(ctx, p2, o.Recorder, o.Tracer); err != nil {
+					return totals{}, fmt.Errorf("seed %d line %d: cold: %w", seed, e.Line, err)
+				}
+				cold := time.Since(start)
+				t.edits++
+				switch stats.Outcome {
+				case "patched":
+					t.patched++
+				case "partial":
+					t.partial++
+				default:
+					t.full++
+				}
+				t.incrNs += float64(incr)
+				t.coldNs += float64(cold)
+				if cold > 0 {
+					t.ratioSum += float64(incr) / float64(cold)
+				}
+			}
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var t totals
+		for _, p := range parts {
+			t.edits += p.edits
+			t.patched += p.patched
+			t.partial += p.partial
+			t.full += p.full
+			t.ratioSum += p.ratioSum
+			t.incrNs += p.incrNs
+			t.coldNs += p.coldNs
+		}
+		if t.edits == 0 {
+			continue
+		}
+		n := float64(t.edits)
+		rows = append(rows, IncrRow{
+			Corpus:     corpus,
+			Edits:      t.edits,
+			Patched:    t.patched,
+			Partial:    t.partial,
+			Full:       t.full,
+			MeanRatio:  t.ratioSum / n,
+			MeanIncrNs: t.incrNs / n,
+			MeanColdNs: t.coldNs / n,
+		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,226 @@
+package incremental
+
+import (
+	"strings"
+	"testing"
+
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+)
+
+const base = `sum = 0;
+positives = 0;
+L3: if (eof()) goto L14;
+read(x);
+if (x > 0) goto L8;
+sum = sum + f1(x);
+goto L3;
+L8: positives = positives + 1;
+if (x % 2 != 0) goto L12;
+sum = sum + f2(x);
+goto L3;
+L12: sum = sum + f3(x);
+goto L3;
+L14: write(sum);
+write(positives);
+`
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func editLine(t *testing.T, src string, line int, text string) string {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	if line < 1 || line > len(lines) {
+		t.Fatalf("editLine: line %d out of range", line)
+	}
+	lines[line-1] = text
+	return strings.Join(lines, "\n")
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := parse(t, base), parse(t, base)
+	sc := Diff(a, b)
+	if !sc.Identical || !sc.SameShape || len(sc.Replaced) != 0 || len(sc.Edits) != 0 {
+		t.Fatalf("identical programs: %+v", sc)
+	}
+}
+
+func TestDiffExpressionChange(t *testing.T) {
+	a := parse(t, base)
+	b := parse(t, editLine(t, base, 6, "sum = sum + f1(x) + 1;"))
+	sc := Diff(a, b)
+	if sc.Identical || !sc.SameShape {
+		t.Fatalf("expression change: Identical=%v SameShape=%v (%s)", sc.Identical, sc.SameShape, sc.Mismatch)
+	}
+	if len(sc.Replaced) != 1 || sc.Replaced[0].DefChanged {
+		t.Fatalf("Replaced = %+v", sc.Replaced)
+	}
+	if got := sc.Replaced[0].New.Pos().Line; got != 6 {
+		t.Fatalf("replaced line = %d, want 6", got)
+	}
+	if len(sc.Edits) != 1 || sc.Edits[0].Op != OpReplace || sc.Edits[0].Line != 6 {
+		t.Fatalf("Edits = %+v", sc.Edits)
+	}
+}
+
+func TestDiffDefChange(t *testing.T) {
+	a := parse(t, base)
+	b := parse(t, editLine(t, base, 1, "total = 0;"))
+	sc := Diff(a, b)
+	if !sc.SameShape || len(sc.Replaced) != 1 || !sc.Replaced[0].DefChanged {
+		t.Fatalf("def change: %+v", sc)
+	}
+}
+
+func TestDiffStructuralChange(t *testing.T) {
+	a := parse(t, base)
+	lines := strings.Split(base, "\n")
+	ins := strings.Join(append(lines[:4:4], append([]string{"extra = 0;"}, lines[4:]...)...), "\n")
+	b := parse(t, ins)
+	sc := Diff(a, b)
+	if sc.SameShape || sc.Mismatch == "" {
+		t.Fatalf("insert should break shape: %+v", sc)
+	}
+	var inserts int
+	for _, e := range sc.Edits {
+		if e.Op == OpInsert {
+			inserts++
+		}
+	}
+	if inserts != 1 {
+		t.Fatalf("want 1 insert edit, got %+v", sc.Edits)
+	}
+}
+
+func TestDiffRelabel(t *testing.T) {
+	a := parse(t, base)
+	src := strings.ReplaceAll(base, "L12", "L99")
+	b := parse(t, src)
+	sc := Diff(a, b)
+	if sc.SameShape {
+		t.Fatal("label rename must not be same-shape (gotos retarget)")
+	}
+	var relabels int
+	for _, e := range sc.Edits {
+		if e.Op == OpRelabel {
+			relabels++
+		}
+	}
+	if relabels != 1 {
+		t.Fatalf("want 1 relabel edit, got %+v", sc.Edits)
+	}
+}
+
+func TestDiffJumpTargetChange(t *testing.T) {
+	a := parse(t, base)
+	b := parse(t, editLine(t, base, 7, "goto L14;"))
+	if sc := Diff(a, b); sc.SameShape {
+		t.Fatal("goto retarget must not be same-shape")
+	}
+}
+
+func TestSpliceLineEquivalence(t *testing.T) {
+	p := parse(t, base)
+	for _, tc := range []struct {
+		line int
+		text string
+	}{
+		{6, "sum = sum + f1(x) * 2;"},
+		{4, "read(y);"},
+		{8, "L8: positives = positives - 1;"}, // labeled target line, label kept
+		{14, "L14: write(sum + 1);"},
+		{15, "return;"},
+	} {
+		text := tc.text
+		if i := strings.Index(text, ": "); i >= 0 {
+			text = text[i+2:] // splice takes the statement without its label
+		}
+		q, ok := SpliceLine(p, tc.line, text)
+		if !ok {
+			t.Fatalf("SpliceLine(%d, %q) refused", tc.line, text)
+		}
+		want := parse(t, editLine(t, base, tc.line, tc.text))
+		if sc := Diff(want, q); !sc.Identical {
+			t.Fatalf("splice(%d) differs from reparse: %+v", tc.line, sc)
+		}
+		if got, wantSrc := lang.Format(q, lang.PrintOptions{}), lang.Format(want, lang.PrintOptions{}); got != wantSrc {
+			t.Fatalf("splice(%d) formats differently:\n%s\nvs\n%s", tc.line, got, wantSrc)
+		}
+		if s := lang.StmtAtLine(q, tc.line); s == nil || s.Pos().Line != tc.line {
+			t.Fatalf("splice(%d): statement not repositioned", tc.line)
+		}
+		// The original tree is untouched.
+		if sc := Diff(p, parse(t, base)); !sc.Identical {
+			t.Fatalf("splice(%d) mutated the original program", tc.line)
+		}
+	}
+}
+
+func TestSpliceLineRefusals(t *testing.T) {
+	p := parse(t, base)
+	for _, tc := range []struct {
+		name string
+		line int
+		text string
+	}{
+		{"multiline", 6, "x = 1;\ny = 2;"},
+		{"two statements", 6, "x = 1; y = 2;"},
+		{"compound", 6, "if (x) y = 1;"},
+		{"goto out of scope", 6, "goto L3;"},
+		{"labeled", 6, "L77: x = 1;"},
+		{"parse error", 6, "x = ;"},
+		{"no such line", 99, "x = 1;"},
+		{"compound target", 5, "x = 1;"},
+	} {
+		if _, ok := SpliceLine(p, tc.line, tc.text); ok {
+			t.Errorf("%s: SpliceLine accepted", tc.name)
+		}
+	}
+}
+
+func buildCFG(t *testing.T, p *lang.Program) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
+	return g
+}
+
+func TestSameShapeCFG(t *testing.T) {
+	a := buildCFG(t, parse(t, base))
+	b := buildCFG(t, parse(t, editLine(t, base, 6, "sum = sum - f1(x);")))
+	if !SameShapeCFG(a, b) {
+		t.Fatal("expression edit should keep CFG shape")
+	}
+	c := buildCFG(t, parse(t, editLine(t, base, 7, "goto L14;")))
+	if SameShapeCFG(a, c) {
+		t.Fatal("goto retarget must change CFG shape")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := parse(t, base)
+	b := parse(t, "x = 0;\n"+base) // everything shifts down one line
+	as, bs := lang.Statements(a), lang.Statements(b)[1:]
+	if len(as) != len(bs) {
+		t.Fatalf("statement counts differ: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		// Fingerprints ignore positions but label wrappers are not
+		// visible through lang.Statements; compare bare statements.
+		if Fingerprint(as[i]) != Fingerprint(bs[i]) {
+			t.Fatalf("fingerprint of statement %d not position-stable", i)
+		}
+	}
+	if Fingerprint(as[0]) == Fingerprint(as[1]) {
+		t.Fatal("distinct statements should fingerprint differently")
+	}
+}

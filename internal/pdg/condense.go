@@ -161,6 +161,78 @@ func Condense(adj [][]int) *Condensation {
 	return c
 }
 
+// Patched returns a condensation equivalent to condensing the
+// relation that differs from c's only at the given rows (rows[n] is
+// node n's new full adjacency row), or ok=false when the edit might
+// merge or split a component. The safety precondition, checked per
+// edited node n: n's component is a singleton, and every dependence
+// in the new row lies in a strictly smaller component (or is n
+// itself — a self-loop like "x = x + 1" in a loop keeps n a singleton
+// SCC). Under that precondition the component partition and the
+// topological numbering invariant both survive unchanged: no new
+// path can lead back into n's component, because dependence edges
+// never increase component indices.
+//
+// c is not modified — it may be shared by concurrently running
+// slices of the previous analysis. The patched condensation shares
+// the memoized closures of every component below the smallest edited
+// one (they cannot reach an edited row; closures are read-only by
+// contract) and drops the rest for lazy rebuild.
+func (c *Condensation) Patched(rows map[int][]int) (*Condensation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keep := len(c.comps)
+	for n, row := range rows {
+		cn := c.comp[n]
+		if len(c.comps[cn]) != 1 {
+			return nil, false
+		}
+		for _, d := range row {
+			if d != n && c.comp[d] >= cn {
+				return nil, false
+			}
+		}
+		if cn < keep {
+			keep = cn
+		}
+	}
+	q := &Condensation{
+		comp:     c.comp,
+		comps:    c.comps,
+		requests: c.requests,
+		hits:     c.hits,
+		builds:   c.builds,
+		tracer:   c.tracer,
+	}
+	q.adj = make([][]int, len(c.adj))
+	copy(q.adj, c.adj)
+	q.succs = make([][]int, len(c.succs))
+	copy(q.succs, c.succs)
+	for n, row := range rows {
+		q.adj[n] = row
+		cn := c.comp[n]
+		var sc []int
+		for _, d := range row {
+			if dc := c.comp[d]; dc != cn && !containsInt(sc, dc) {
+				sc = append(sc, dc)
+			}
+		}
+		q.succs[cn] = sc
+	}
+	q.closure = make([]*bits.Set, len(c.closure))
+	copy(q.closure[:keep], c.closure[:keep])
+	return q, true
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Instrument attaches cache counters (any may be nil, and the
 // counters of obs.Nop are): requests counts closure lookups, hits the
 // lookups answered from a memoized component closure, and builds the

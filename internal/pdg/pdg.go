@@ -39,24 +39,51 @@ func Build(g *cfg.Graph, cd *cdg.Graph, rd *dataflow.ReachingDefs) *Graph {
 	p.dataDeps = rd.DataDeps()
 	p.deps = make([][]int, len(g.Nodes))
 	for n := range p.deps {
-		seen := map[int]bool{}
-		for _, d := range p.dataDeps[n] {
-			seen[d] = true
-		}
-		for _, d := range cd.ParentIDs(n) {
-			seen[d] = true
-		}
-		if len(seen) == 0 {
-			continue
-		}
-		merged := make([]int, 0, len(seen))
-		for d := range seen {
-			merged = append(merged, d)
-		}
-		sort.Ints(merged)
-		p.deps[n] = merged
+		p.deps[n] = mergeDeps(p.dataDeps[n], cd.ParentIDs(n))
 	}
 	return p
+}
+
+// mergeDeps unions a data-dependence row with a control-dependence
+// row, de-duplicated and sorted.
+func mergeDeps(data, control []int) []int {
+	seen := map[int]bool{}
+	for _, d := range data {
+		seen[d] = true
+	}
+	for _, d := range control {
+		seen[d] = true
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	merged := make([]int, 0, len(seen))
+	for d := range seen {
+		merged = append(merged, d)
+	}
+	sort.Ints(merged)
+	return merged
+}
+
+// Rederive returns a graph over a shape-identical flowgraph that
+// shares every dependence row of p except those of the nodes in
+// newDataDeps, whose rows are replaced and re-merged with control
+// dependence. It is the incremental engine's PDG step: after a
+// same-shape edit, only the edited statements' data-dependence rows
+// can differ, so rebuilding the whole graph is wasted work. p is not
+// modified; the returned graph's condensation is rebuilt lazily
+// unless the caller patches one in.
+func (p *Graph) Rederive(g *cfg.Graph, cd *cdg.Graph, newDataDeps map[int][]int) *Graph {
+	q := &Graph{CFG: g, CDG: cd}
+	q.dataDeps = make([][]int, len(p.dataDeps))
+	copy(q.dataDeps, p.dataDeps)
+	q.deps = make([][]int, len(p.deps))
+	copy(q.deps, p.deps)
+	for n, dd := range newDataDeps {
+		q.dataDeps[n] = dd
+		q.deps[n] = mergeDeps(dd, cd.ParentIDs(n))
+	}
+	return q
 }
 
 // DataDeps returns the nodes n is directly data dependent on, sorted.

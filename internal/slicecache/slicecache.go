@@ -123,6 +123,11 @@ const (
 	DefaultNegTTL   = 2 * time.Second
 )
 
+// entryOverhead charges the map slot, LRU links and key storage per
+// resident entry; negative entries additionally keep their error
+// string.
+const entryOverhead = 256
+
 // Stats is a point-in-time account of the cache. Bytes and Entries
 // are exact: Bytes always equals the summed cost of resident entries.
 type Stats struct {
@@ -307,9 +312,6 @@ func (c *Cache) run(bctx context.Context, sh *shard, key Key, f *flight, srcLen 
 	}
 	f.a, f.err = a, err
 
-	// entryOverhead charges the map slot, LRU links and key storage;
-	// negative entries additionally keep their error string.
-	const entryOverhead = 256
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	switch {
