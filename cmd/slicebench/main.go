@@ -113,6 +113,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *metricsPath != "" || *jsonPath != "" {
 		reg = obs.NewRegistry()
 		o.Recorder = reg
+		// Runtime vitals ride along in the same registry; Scrub drops
+		// every runtime.* instrument before snapshots are compared, so
+		// the sampler never perturbs cross-parallelism determinism.
+		sampler := obs.StartRuntimeSampler(reg, 500*time.Millisecond)
+		defer sampler.Stop()
 	}
 	var fr *obs.FlightRecorder
 	if *tracePath != "" {

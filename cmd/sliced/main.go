@@ -45,7 +45,24 @@
 //	GET  /debug/cache   the analysis cache's live counters and byte
 //	                    ledger as JSON ({"enabled":false} when the
 //	                    cache is off).
-//	GET  /healthz       liveness probe.
+//	GET  /debug/requests the wide-event ring: one JSON record per
+//	                    recent request with status, duration, phase
+//	                    timings, cache/incremental tiers, and outcome
+//	                    (?status= ?min_ms= ?endpoint= ?n= filter it).
+//	GET  /debug/slo     per-endpoint sliding-window SLO view:
+//	                    percentiles, error/shed rates, burn rates
+//	                    against the -slo objectives, and per-bucket
+//	                    slowest-request exemplars.
+//	GET  /debug/build   the binary's build provenance (go version,
+//	                    module path, VCS revision).
+//	GET  /healthz       liveness probe; reports the build revision.
+//
+// The access log emits one line per request (-log-format text or
+// json; the JSON form is the same wide event /debug/requests serves).
+// -slo sets objectives (e.g. p99=50ms,err=1%), -slo-window the
+// sliding window span, -requests the ring capacity, -runtime-sample
+// the runtime health sampling interval, and -pprof exposes
+// net/http/pprof under /debug/pprof/.
 //
 // Every request gets a monotonically increasing ID, echoed in the
 // X-Request-ID response header and stamped on its trace events, so a
@@ -108,6 +125,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -136,7 +154,23 @@ func main() {
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /slice requests before shedding load")
 	flag.Int64Var(&cfg.CacheBytes, "cache-bytes", cfg.CacheBytes, "analysis cache budget in bytes")
 	flag.BoolVar(&cfg.CacheOff, "cache-off", cfg.CacheOff, "disable the analysis cache")
+	flag.StringVar(&cfg.LogFormat, "log-format", cfg.LogFormat, "access log format: text or json (one wide event per line)")
+	flag.IntVar(&cfg.Requests, "requests", cfg.Requests, "wide-event ring capacity served at /debug/requests")
+	flag.DurationVar(&cfg.SLOWindow, "slo-window", cfg.SLOWindow, "sliding SLO window span (10 rotating buckets)")
+	slo := flag.String("slo", "", "SLO objectives, e.g. p99=50ms,err=1% (enables burn rates)")
+	flag.BoolVar(&cfg.Pprof, "pprof", cfg.Pprof, "serve net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&cfg.RuntimeSample, "runtime-sample", cfg.RuntimeSample, "runtime health sampling interval (0 disables)")
 	flag.Parse()
+	obj, err := obs.ParseObjectives(*slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sliced: -slo:", err)
+		os.Exit(2)
+	}
+	cfg.Objectives = obj
+	if cfg.LogFormat != "text" && cfg.LogFormat != "json" {
+		fmt.Fprintf(os.Stderr, "sliced: -log-format: unknown format %q (want text or json)\n", cfg.LogFormat)
+		os.Exit(2)
+	}
 	if err := serve(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sliced:", err)
 		os.Exit(1)
@@ -152,6 +186,21 @@ type config struct {
 	MaxInflight int           // /slice admission slots before shedding
 	CacheBytes  int64         // analysis cache budget; <=0 means the default
 	CacheOff    bool          // disable the analysis cache
+	// LogFormat selects the access log encoding: "text" (one
+	// key=value line per request) or "json" (the request's wide event
+	// as one JSON object per line). Both carry the same fields.
+	LogFormat string
+	// Requests is the wide-event ring capacity behind /debug/requests.
+	Requests int
+	// SLOWindow is the sliding SLO window span (split into 10
+	// rotating buckets); Objectives are the parsed -slo targets.
+	SLOWindow  time.Duration
+	Objectives obs.SLOObjectives
+	// Pprof serves net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+	// RuntimeSample is the runtime health sampling interval; <=0
+	// disables the sampler.
+	RuntimeSample time.Duration
 	// Failpoints enables the X-Sliced-Fail request header, which
 	// injects failures into the serving path (value "panic" panics
 	// inside the handler, "block" parks the request until released).
@@ -168,6 +217,12 @@ func defaultConfig() config {
 		MaxStmts:    20000,
 		MaxInflight: 2 * runtime.GOMAXPROCS(0),
 		CacheBytes:  slicecache.DefaultMaxBytes,
+		LogFormat:   "text",
+		Requests:    1024,
+		SLOWindow:   time.Minute,
+		// Runtime health is cheap (one ReadMemStats per sample) and on
+		// by default; -runtime-sample 0 turns it off.
+		RuntimeSample: 5 * time.Second,
 	}
 }
 
@@ -189,6 +244,11 @@ func serveOn(ln net.Listener, s *server) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if s.cfg.RuntimeSample > 0 {
+		s.sampler = obs.StartRuntimeSampler(s.reg, s.cfg.RuntimeSample)
+		defer s.sampler.Stop()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -238,6 +298,17 @@ type server struct {
 	sessID   atomic.Int64
 	smu      sync.Mutex
 	sessions map[string]*session
+	// requests is the bounded wide-event ring behind /debug/requests;
+	// slo the per-endpoint sliding-window tracker behind /debug/slo
+	// and the jumpslice_http_* metrics; incrTier pre-resolves the
+	// http.incr.{patched,partial,full} counters the middleware bumps;
+	// build is the binary's provenance, resolved once; sampler is the
+	// runtime health goroutine (serveOn lifecycle only).
+	requests *obs.RequestLog
+	slo      *obs.SLOTracker
+	incrTier map[string]*obs.Counter
+	build    buildDetails
+	sampler  *obs.RuntimeSampler
 	// unblock releases requests parked by the "block" failpoint; the
 	// resilience tests close it to let in-flight work finish.
 	unblock chan struct{}
@@ -256,6 +327,15 @@ func newServer(cfg config, logw io.Writer) *server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1024
+	}
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = time.Minute
+	}
+	if cfg.LogFormat == "" {
+		cfg.LogFormat = "text"
+	}
 	s := &server{
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
@@ -266,6 +346,14 @@ func newServer(cfg config, logw io.Writer) *server {
 		sessions: map[string]*session{},
 	}
 	s.tr = obs.NewTracer(s.fr)
+	s.requests = obs.NewRequestLog(cfg.Requests)
+	s.slo = obs.NewSLOTracker(cfg.SLOWindow, 10, cfg.Objectives)
+	s.incrTier = map[string]*obs.Counter{
+		"patched": s.reg.Counter("http.incr.patched"),
+		"partial": s.reg.Counter("http.incr.partial"),
+		"full":    s.reg.Counter("http.incr.full"),
+	}
+	s.build = readBuildDetails()
 	if !cfg.CacheOff {
 		s.cache = slicecache.New(slicecache.Options{
 			MaxBytes: cfg.CacheBytes,
@@ -295,10 +383,24 @@ func newServer(cfg config, logw io.Writer) *server {
 	mux.HandleFunc("/debug/cache", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleCache,
 	}))
+	mux.HandleFunc("/debug/requests", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleRequests,
+	}))
+	mux.HandleFunc("/debug/slo", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleSLO,
+	}))
+	mux.HandleFunc("/debug/build", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleBuild,
+	}))
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	mux.HandleFunc("/healthz", s.methods(map[string]http.HandlerFunc{
-		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
-			fmt.Fprintln(w, "ok")
-		},
+		http.MethodGet: s.handleHealthz,
 	}))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
@@ -307,11 +409,12 @@ func newServer(cfg config, logw io.Writer) *server {
 	return s
 }
 
-// Handler returns the daemon's full handler chain: request-ID
-// assignment and access logging, then panic recovery, then the route
-// mux. Recovery sits inside the access log so a recovered panic still
-// produces a log line with its request ID and a 500 response.
-func (s *server) Handler() http.Handler { return s.accessLog(s.recoverPanics(s.mux)) }
+// Handler returns the daemon's full handler chain: the instrument
+// middleware (request-ID assignment, wide-event assembly, SLO
+// accounting, access logging), then panic recovery, then the route
+// mux. Recovery sits inside the instrumentation so a recovered panic
+// still produces a wide event with its request ID and a 500 response.
+func (s *server) Handler() http.Handler { return s.instrument(s.recoverPanics(s.mux)) }
 
 type ctxKey int
 
@@ -324,12 +427,13 @@ func requestID(r *http.Request) uint64 {
 	return id
 }
 
-// statusWriter captures the response status for the access log and
-// whether a header was already written, so the panic recovery knows
-// if a 500 can still be sent.
+// statusWriter captures the response status and body byte count for
+// the wide event, and whether a header was already written, so the
+// panic recovery knows if a 500 can still be sent.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 	wrote  bool
 }
 
@@ -344,20 +448,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
-}
-
-// accessLog assigns the request ID, echoes it as X-Request-ID, and
-// logs one line per request with status and duration.
-func (s *server) accessLog(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := uint64(s.reqID.Add(1))
-		w.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey, id)))
-		s.logger.Printf("req=%d %s %s %d %s", id, r.Method, r.URL.Path, sw.status, time.Since(start))
-	})
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // recoverPanics isolates a panic to the request that caused it: the
@@ -377,6 +470,7 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 			}
 			id := requestID(r)
 			s.logger.Printf("req=%d panic: %v\n%s", id, p, debug.Stack())
+			reqInfoFrom(r).setOutcome("panic")
 			s.fail(w, r, http.StatusInternalServerError, "internal",
 				"internal error serving request %d; see server log", id)
 		}()
@@ -417,6 +511,7 @@ func (s *server) gated(next http.HandlerFunc) http.HandlerFunc {
 			next(w, r)
 		default:
 			s.shed.Add(1)
+			reqInfoFrom(r).setOutcome("shed")
 			s.fail(w, r, http.StatusServiceUnavailable, "overloaded",
 				"all %d slicing slots busy; retry shortly", cap(s.sem))
 		}
@@ -486,6 +581,7 @@ func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, code, 
 	if sw, ok := w.(*statusWriter); ok && sw.wrote {
 		return
 	}
+	reqInfoFrom(r).setErrCode(code)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -671,13 +767,16 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	id := requestID(r)
-	tr := s.tr.ForRequest(id)
+	tr := s.tracerFor(r)
+	ri := reqInfoFrom(r)
+	ri.setAlgo(req.Algo)
 	start := time.Now()
 
 	a := s.analysisFor(ctx, w, r, req.Source, tr)
 	if a == nil {
 		return // analysisFor already answered
 	}
+	ri.setStmts(len(lang.Statements(a.Prog)))
 	sl, err := coreSlice(a, req.Algo, core.Criterion{Var: req.Var, Line: req.Line})
 	if err != nil {
 		s.failErr(w, r, "slice", err)
@@ -709,6 +808,7 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		resp.Listing = p.Listing()
 	}
 	resp.DurationNS = time.Since(start).Nanoseconds()
+	ri.setSliceLines(len(resp.Lines))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -808,6 +908,7 @@ func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WritePrometheus(w, s.reg.Snapshot())
+	obs.WriteSLOPrometheus(w, s.slo.Snapshot())
 }
 
 func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {

@@ -109,12 +109,13 @@ func (s *server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	tr := s.tr.ForRequest(requestID(r))
+	tr := s.tracerFor(r)
 	a, err := s.buildAnalysis(ctx, source, tr)
 	if err != nil {
 		s.failErr(w, r, "analyze", err)
 		return
 	}
+	reqInfoFrom(r).setStmts(len(lang.Statements(a.Prog)))
 	id := strconv.FormatInt(s.sessID.Add(1), 10)
 	s.cache.PutKey(slicecache.SessionKey(id), source, a.Rebind(nil, s.reg, nil))
 	s.smu.Lock()
@@ -158,7 +159,9 @@ func (s *server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	id := requestID(r)
-	tr := s.tr.ForRequest(id)
+	tr := s.tracerFor(r)
+	ri := reqInfoFrom(r)
+	ri.setAlgo(algo)
 	start := time.Now()
 
 	sess.mu.Lock()
@@ -199,6 +202,7 @@ func (s *server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Incremental", stats.Outcome)
+	ri.setStmts(len(lang.Statements(a.Prog)))
 
 	// The edit is committed before slicing: the session now holds the
 	// new program whether or not the criterion below resolves.
@@ -239,6 +243,7 @@ func (s *server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		resp.Listing = p.Listing()
 	}
 	resp.DurationNS = time.Since(start).Nanoseconds()
+	ri.setSliceLines(len(resp.Lines))
 	writeJSON(w, http.StatusOK, resp)
 }
 

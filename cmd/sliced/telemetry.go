@@ -1,0 +1,359 @@
+package main
+
+// The daemon's telemetry plane: wide request events, sliding-window
+// SLOs, and build/runtime health reporting.
+//
+// Every request is summarized into exactly one obs.WideEvent by the
+// instrument middleware — endpoint, status, duration, response bytes,
+// per-phase pipeline timings, cache and incremental tiers, slice
+// size, and how the request ended (ok / client_error / error / shed /
+// timeout / canceled / panic). The same record is (a) emitted as the
+// access log line — text or JSON, identical fields either way — and
+// (b) kept in a bounded ring served by GET /debug/requests, so the
+// log stream and the queryable view can never disagree. The event
+// also feeds the per-endpoint SLO window, whose per-bucket slowest
+// request ID (the exemplar) links a latency spike straight back to
+// GET /debug/trace?id=.
+//
+// Handlers annotate the in-flight event through a *reqInfo carried in
+// the request context; all reqInfo setters are nil-safe so handlers
+// invoked outside the middleware (direct tests) need no guards.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"jumpslice/internal/obs"
+)
+
+// reqInfo is the per-request annotation sheet handlers fill in while
+// serving; the instrument middleware folds it into the wide event
+// after the response is written. A request is served by exactly one
+// goroutine, so plain fields suffice (the SpanLog has its own lock —
+// a coalesced cache build may record spans from another goroutine).
+type reqInfo struct {
+	algo       string
+	stmts      int
+	sliceLines int
+	errCode    string
+	outcome    string // set only by gate/panic paths; "" = derive from status
+	spans      *obs.SpanLog
+}
+
+func (ri *reqInfo) setAlgo(a string) {
+	if ri != nil {
+		ri.algo = a
+	}
+}
+
+func (ri *reqInfo) setStmts(n int) {
+	if ri != nil {
+		ri.stmts = n
+	}
+}
+
+func (ri *reqInfo) setSliceLines(n int) {
+	if ri != nil {
+		ri.sliceLines = n
+	}
+}
+
+func (ri *reqInfo) setErrCode(c string) {
+	if ri != nil {
+		ri.errCode = c
+	}
+}
+
+func (ri *reqInfo) setOutcome(o string) {
+	if ri != nil {
+		ri.outcome = o
+	}
+}
+
+func (ri *reqInfo) spanLog() *obs.SpanLog {
+	if ri == nil {
+		return nil
+	}
+	return ri.spans
+}
+
+const reqInfoKey ctxKey = 1
+
+// reqInfoFrom returns the request's annotation sheet (nil outside the
+// middleware; every use is nil-safe).
+func reqInfoFrom(r *http.Request) *reqInfo {
+	ri, _ := r.Context().Value(reqInfoKey).(*reqInfo)
+	return ri
+}
+
+// tracerFor derives the request's tracer: events stamped with the
+// request ID, spans teed into the wide event's phase collector.
+func (s *server) tracerFor(r *http.Request) *obs.Tracer {
+	return s.tr.ForRequest(requestID(r)).WithSpans(reqInfoFrom(r).spanLog())
+}
+
+// endpointOf normalizes a request path to its bounded-cardinality
+// route label: dynamic segments collapse ("/session/17" →
+// "/session/{id}"), unknown paths fold to "(other)" so a URL scanner
+// cannot inflate the SLO map.
+func endpointOf(path string) string {
+	switch path {
+	case "/slice", "/session", "/metrics", "/healthz",
+		"/debug/flight", "/debug/trace", "/debug/cache",
+		"/debug/requests", "/debug/slo", "/debug/build":
+		return path
+	}
+	if strings.HasPrefix(path, "/session/") {
+		return "/session/{id}"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "(other)"
+}
+
+// outcomeOf classifies how the request ended. Explicit outcomes from
+// the admission gate ("shed") and panic recovery ("panic") win;
+// otherwise the status and envelope code decide.
+func outcomeOf(ri *reqInfo, status int) string {
+	var code string
+	if ri != nil {
+		if ri.outcome != "" {
+			return ri.outcome
+		}
+		code = ri.errCode
+	}
+	switch {
+	case status == statusClientClosedRequest:
+		return "canceled"
+	case code == "timeout":
+		return "timeout"
+	case status >= 500:
+		return "error"
+	case status >= 400:
+		return "client_error"
+	}
+	return "ok"
+}
+
+// instrument is the outermost middleware: it assigns the request ID,
+// measures the whole exchange, assembles the wide event, records it
+// into the request ring and the SLO window, bumps the per-tier
+// http.incr.* counters, and emits the access log line.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := uint64(s.reqID.Add(1))
+		w.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ri := &reqInfo{spans: &obs.SpanLog{}}
+		ctx := context.WithValue(r.Context(), reqIDKey, id)
+		ctx = context.WithValue(ctx, reqInfoKey, ri)
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		ev := obs.WideEvent{
+			Req:         id,
+			TimeNS:      start.UnixNano(),
+			Method:      r.Method,
+			Path:        r.URL.Path,
+			Endpoint:    endpointOf(r.URL.Path),
+			Status:      sw.status,
+			DurationNS:  dur.Nanoseconds(),
+			BytesOut:    sw.bytes,
+			Outcome:     outcomeOf(ri, sw.status),
+			ErrorCode:   ri.errCode,
+			Algo:        ri.algo,
+			Stmts:       ri.stmts,
+			SliceLines:  ri.sliceLines,
+			Cache:       sw.Header().Get("X-Cache"),
+			Incremental: sw.Header().Get("X-Incremental"),
+			Phases:      ri.spans.Spans(),
+		}
+		s.requests.Record(ev)
+		s.slo.Observe(ev.Endpoint, ev.Status, ev.Outcome == "shed", dur, id)
+		if c := s.incrTier[ev.Incremental]; c != nil {
+			c.Add(1)
+		}
+		s.logAccess(&ev)
+	})
+}
+
+// logAccess emits one access log line per request. Both formats carry
+// the wide event's scalar fields; the JSON format additionally
+// carries the per-phase timings (too noisy for a text line, and the
+// JSON consumer is a machine anyway).
+func (s *server) logAccess(ev *obs.WideEvent) {
+	if s.cfg.LogFormat == "json" {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			s.logger.Printf("req=%d access-log marshal failed: %v", ev.Req, err)
+			return
+		}
+		s.logger.Print(string(data))
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "req=%d %s %s %d %s bytes=%d outcome=%s",
+		ev.Req, ev.Method, ev.Path, ev.Status, time.Duration(ev.DurationNS), ev.BytesOut, ev.Outcome)
+	if ev.ErrorCode != "" {
+		fmt.Fprintf(&sb, " code=%s", ev.ErrorCode)
+	}
+	if ev.Cache != "" {
+		fmt.Fprintf(&sb, " cache=%s", ev.Cache)
+	}
+	if ev.Incremental != "" {
+		fmt.Fprintf(&sb, " incr=%s", ev.Incremental)
+	}
+	if ev.Algo != "" {
+		fmt.Fprintf(&sb, " algo=%s", ev.Algo)
+	}
+	if ev.Stmts > 0 {
+		fmt.Fprintf(&sb, " stmts=%d", ev.Stmts)
+	}
+	if ev.SliceLines > 0 {
+		fmt.Fprintf(&sb, " slice=%d", ev.SliceLines)
+	}
+	s.logger.Print(sb.String())
+}
+
+// handleRequests (GET /debug/requests) serves the wide-event ring,
+// newest last, optionally filtered. All filters validate strictly: a
+// filter that says "status 5xx please" but sends garbage answers a
+// structured 422, never a silently unfiltered dump.
+//
+//	?status=N     only events with that exact response status
+//	?min_ms=N     only events at least N milliseconds slow
+//	?endpoint=E   only events on that normalized endpoint
+//	?n=N          at most the newest N matching events
+func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	intParam := func(name string, min, max int) (int, bool, error) {
+		vs, present := q[name]
+		if !present {
+			return 0, false, nil
+		}
+		v := ""
+		if len(vs) > 0 {
+			v = vs[0]
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < min || (max > 0 && n > max) {
+			return 0, true, httpErrorf(http.StatusUnprocessableEntity, "invalid_parameter",
+				"parameter %s must be an integer in [%d, %d], got %q", name, min, max, v)
+		}
+		return n, true, nil
+	}
+	status, haveStatus, err := intParam("status", 100, 599)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	minMS, haveMinMS, err := intParam("min_ms", 0, 0)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	n, haveN, err := intParam("n", 0, 0)
+	if err != nil {
+		s.failErr(w, r, "request", err)
+		return
+	}
+	endpoint, haveEndpoint := "", false
+	if vs, present := q["endpoint"]; present {
+		haveEndpoint = true
+		if len(vs) > 0 {
+			endpoint = vs[0]
+		}
+		if endpoint == "" {
+			s.fail(w, r, http.StatusUnprocessableEntity, "invalid_parameter",
+				"parameter endpoint must name a route (e.g. /slice), got %q", endpoint)
+			return
+		}
+	}
+
+	all := s.requests.Events()
+	matched := make([]obs.WideEvent, 0, len(all))
+	for _, e := range all {
+		if haveStatus && e.Status != status {
+			continue
+		}
+		if haveMinMS && e.DurationNS < int64(minMS)*int64(time.Millisecond) {
+			continue
+		}
+		if haveEndpoint && e.Endpoint != endpoint {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	if haveN && n < len(matched) {
+		matched = matched[len(matched)-n:]
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Written  uint64          `json:"written"`
+		Capacity int             `json:"capacity"`
+		Count    int             `json:"count"`
+		Requests []obs.WideEvent `json:"requests"`
+	}{s.requests.Written(), s.requests.Cap(), len(matched), matched})
+}
+
+// handleSLO (GET /debug/slo) serves the sliding-window SLO view:
+// per-endpoint percentiles, error/shed rates, burn rates against the
+// configured objectives, and the per-bucket exemplars.
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
+
+// buildDetails is the /debug/build payload, resolved once at startup.
+type buildDetails struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path"`
+	Revision  string `json:"revision"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// readBuildDetails extracts version provenance from the binary's
+// embedded build info. Binaries built outside a VCS checkout (go test,
+// plain go build of a tarball) report revision "unknown".
+func readBuildDetails() buildDetails {
+	d := buildDetails{Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return d
+	}
+	d.GoVersion = bi.GoVersion
+	d.Path = bi.Main.Path
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			d.Revision = kv.Value
+		case "vcs.time":
+			d.VCSTime = kv.Value
+		case "vcs.modified":
+			d.Modified = kv.Value == "true"
+		}
+	}
+	return d
+}
+
+// handleBuild (GET /debug/build) reports what this binary is.
+func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.build)
+}
+
+// handleHealthz (GET /healthz) is the liveness probe; it names the
+// build revision so a fleet rollout can be confirmed endpoint by
+// endpoint.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status   string `json:"status"`
+		Revision string `json:"revision"`
+	}{"ok", s.build.Revision})
+}

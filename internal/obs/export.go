@@ -92,6 +92,62 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	return enc.Encode(&tr)
 }
 
+// promLabel escapes a Prometheus label value (backslash, quote,
+// newline).
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteSLOPrometheus renders an SLO snapshot as jumpslice_http_*
+// series, labelled by endpoint: cumulative request/error/shed
+// counters and the window-scoped health the SLO tracker maintains —
+// latency percentile gauges, error/shed ratios, and burn-rate gauges
+// (only when objectives are configured). Endpoints are sorted in the
+// snapshot, so equal snapshots render to equal bytes. A nil or empty
+// snapshot writes nothing.
+func WriteSLOPrometheus(w io.Writer, s *SLOSnapshot) error {
+	if s == nil || len(s.Endpoints) == 0 {
+		return nil
+	}
+	series := []struct {
+		name, typ string
+		value     func(e *EndpointSLO) (float64, bool)
+	}{
+		{"jumpslice_http_requests_total", "counter", func(e *EndpointSLO) (float64, bool) { return float64(e.TotalRequests), true }},
+		{"jumpslice_http_errors_total", "counter", func(e *EndpointSLO) (float64, bool) { return float64(e.TotalErrors), true }},
+		{"jumpslice_http_shed_total", "counter", func(e *EndpointSLO) (float64, bool) { return float64(e.TotalSheds), true }},
+		{"jumpslice_http_window_requests", "gauge", func(e *EndpointSLO) (float64, bool) { return float64(e.Requests), true }},
+		{"jumpslice_http_window_error_ratio", "gauge", func(e *EndpointSLO) (float64, bool) { return e.ErrorRate, true }},
+		{"jumpslice_http_window_shed_ratio", "gauge", func(e *EndpointSLO) (float64, bool) { return e.ShedRate, true }},
+		{"jumpslice_http_p50_ns", "gauge", func(e *EndpointSLO) (float64, bool) { return float64(e.P50NS), true }},
+		{"jumpslice_http_p90_ns", "gauge", func(e *EndpointSLO) (float64, bool) { return float64(e.P90NS), true }},
+		{"jumpslice_http_p99_ns", "gauge", func(e *EndpointSLO) (float64, bool) { return float64(e.P99NS), true }},
+		{"jumpslice_http_error_burn", "gauge", func(e *EndpointSLO) (float64, bool) { return e.ErrorBurn, s.Objectives.ErrRate > 0 }},
+		{"jumpslice_http_latency_burn", "gauge", func(e *EndpointSLO) (float64, bool) { return e.LatencyBurn, s.Objectives.Latency > 0 }},
+	}
+	for _, sr := range series {
+		wrote := false
+		for i := range s.Endpoints {
+			e := &s.Endpoints[i]
+			v, ok := sr.value(e)
+			if !ok {
+				continue
+			}
+			if !wrote {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", sr.name, sr.typ); err != nil {
+					return err
+				}
+				wrote = true
+			}
+			if _, err := fmt.Fprintf(w, "%s{endpoint=\"%s\"} %g\n", sr.name, promLabel(e.Endpoint), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // promName sanitizes an instrument name into a Prometheus metric name:
 // "jumpslice_" prefix, every non-alphanumeric rune folded to '_'.
 func promName(name string) string {

@@ -47,6 +47,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -386,10 +387,14 @@ func (r *Registry) Snapshot() *Snapshot {
 // cache.reused counter: the two outcomes both mean "an analysis was
 // not rebuilt", and how reuses split between them depends on whether
 // the second request arrived during or after the first's build — pure
-// scheduling. The fold keeps the deterministic total. Two runs of the
-// same deterministic workload produce byte-identical scrubbed
-// snapshots at any parallelism; cmd/slicebench's determinism test
-// relies on this.
+// scheduling. The fold keeps the deterministic total. Finally it
+// drops every instrument under the "runtime." and "http." prefixes
+// entirely — runtime-health samples (goroutine counts, heap sizes,
+// GC pause counts) and request-serving telemetry depend on the
+// machine, the scheduler, and the sampling clock, so even their
+// observation counts are nondeterministic. Two runs of the same
+// deterministic workload produce byte-identical scrubbed snapshots at
+// any parallelism; cmd/slicebench's determinism test relies on this.
 func (s *Snapshot) Scrub() *Snapshot {
 	for i := range s.Histograms {
 		if s.Histograms[i].Unit == UnitNanoseconds {
@@ -399,19 +404,42 @@ func (s *Snapshot) Scrub() *Snapshot {
 	}
 	var reused int64
 	fold := false
-	kept := s.Counters[:0]
+	kc := s.Counters[:0]
 	for _, c := range s.Counters {
+		if scrubbedName(c.Name) {
+			continue
+		}
 		if c.Name == "cache.hits" || c.Name == "cache.coalesced" {
 			reused += c.Value
 			fold = true
 			continue
 		}
-		kept = append(kept, c)
+		kc = append(kc, c)
 	}
 	if fold {
-		kept = append(kept, CounterSnapshot{Name: "cache.reused", Value: reused})
-		sort.Slice(kept, func(i, j int) bool { return kept[i].Name < kept[j].Name })
-		s.Counters = kept
+		kc = append(kc, CounterSnapshot{Name: "cache.reused", Value: reused})
+		sort.Slice(kc, func(i, j int) bool { return kc[i].Name < kc[j].Name })
 	}
+	s.Counters = kc
+	kg := s.Gauges[:0]
+	for _, g := range s.Gauges {
+		if !scrubbedName(g.Name) {
+			kg = append(kg, g)
+		}
+	}
+	s.Gauges = kg
+	kh := s.Histograms[:0]
+	for _, h := range s.Histograms {
+		if !scrubbedName(h.Name) {
+			kh = append(kh, h)
+		}
+	}
+	s.Histograms = kh
 	return s
+}
+
+// scrubbedName reports whether an instrument is scheduling- or
+// environment-dependent in its entirety and must not survive Scrub.
+func scrubbedName(name string) bool {
+	return strings.HasPrefix(name, "runtime.") || strings.HasPrefix(name, "http.")
 }

@@ -205,6 +205,10 @@ func (f *FlightRecorder) RequestEvents(req uint64) []Event {
 type Tracer struct {
 	fr  *FlightRecorder
 	req uint64
+	// spans, when non-nil, receives a copy of every span this tracer
+	// publishes (see WithSpans) — the per-request phase collector wide
+	// events are assembled from.
+	spans *SpanLog
 }
 
 // NewTracer returns a tracer publishing into fr with request ID 0
@@ -224,7 +228,19 @@ func (t *Tracer) ForRequest(req uint64) *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{fr: t.fr, req: req}
+	return &Tracer{fr: t.fr, req: req, spans: t.spans}
+}
+
+// WithSpans returns a tracer that additionally tees every span it
+// publishes into l, so one request's exact phase timings can be
+// collected without scanning the shared flight recorder. A nil l
+// returns t unchanged; the nil tracer stays nil (no recorder means no
+// spans are published to tee).
+func (t *Tracer) WithSpans(l *SpanLog) *Tracer {
+	if t == nil || l == nil {
+		return t
+	}
+	return &Tracer{fr: t.fr, req: t.req, spans: l}
 }
 
 // Recorder returns the underlying flight recorder (nil on nil).
@@ -334,14 +350,16 @@ func (s TraceSpan) End() {
 	if s.t == nil {
 		return
 	}
+	dur := int64(time.Since(s.start))
 	s.t.fr.publish(&Event{
 		Req:  s.t.req,
 		Kind: KindSpan,
 		Name: s.name,
 		TS:   s.start.UnixNano(),
-		Dur:  int64(time.Since(s.start)),
+		Dur:  dur,
 		Node: -1,
 		PD:   -1,
 		LS:   -1,
 	})
+	s.t.spans.Add(s.name, dur)
 }

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRequestLogRingEviction(t *testing.T) {
+	l := NewRequestLog(4)
+	if l.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", l.Cap())
+	}
+	for i := 1; i <= 6; i++ {
+		l.Record(WideEvent{Req: uint64(i)})
+	}
+	if l.Written() != 6 {
+		t.Fatalf("Written = %d, want 6", l.Written())
+	}
+	ev := l.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(ev))
+	}
+	// Oldest first: 3, 4, 5, 6 survive.
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if ev[i].Req != want {
+			t.Errorf("event %d Req = %d, want %d", i, ev[i].Req, want)
+		}
+	}
+}
+
+func TestRequestLogPartialFill(t *testing.T) {
+	l := NewRequestLog(8)
+	l.Record(WideEvent{Req: 1})
+	l.Record(WideEvent{Req: 2})
+	ev := l.Events()
+	if len(ev) != 2 || ev[0].Req != 1 || ev[1].Req != 2 {
+		t.Fatalf("Events = %+v, want [1 2]", ev)
+	}
+}
+
+func TestRequestLogNilSafe(t *testing.T) {
+	var l *RequestLog
+	l.Record(WideEvent{Req: 1})
+	if l.Events() != nil || l.Written() != 0 || l.Cap() != 0 {
+		t.Error("nil RequestLog is not a no-op")
+	}
+}
+
+// TestRequestLogConcurrentWriters hammers the ring from many writers
+// while a reader snapshots concurrently; under -race this proves the
+// ring is data-race free, and the final state must account for every
+// write.
+func TestRequestLogConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 500
+	l := NewRequestLog(64)
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, e := range l.Events() {
+					if e.Req == 0 {
+						t.Error("snapshot observed a zero (torn) event")
+						return
+					}
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Record(WideEvent{Req: uint64(w*perWriter + i + 1), Status: 200})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := l.Written(); got != writers*perWriter {
+		t.Fatalf("Written = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(l.Events()); got != 64 {
+		t.Fatalf("Events len = %d, want full ring 64", got)
+	}
+}
+
+func TestSpanLogCollects(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	sl := &SpanLog{}
+	tr := NewTracer(fr).ForRequest(7).WithSpans(sl)
+	tr.StartSpan("cfg").End()
+	tr.StartSpan("pdg").End()
+	spans := sl.Spans()
+	if len(spans) != 2 || spans[0].Name != "cfg" || spans[1].Name != "pdg" {
+		t.Fatalf("Spans = %+v, want cfg then pdg", spans)
+	}
+	for _, s := range spans {
+		if s.NS < 0 {
+			t.Errorf("span %s has negative duration %d", s.Name, s.NS)
+		}
+	}
+	// The tee must not replace publication: the recorder saw both.
+	if got := len(fr.RequestEvents(7)); got != 2 {
+		t.Fatalf("flight recorder has %d events for req 7, want 2", got)
+	}
+}
+
+// TestSpanLogSurvivesForRequest checks the collector propagates when
+// the daemon derives per-request tracers in either order.
+func TestSpanLogSurvivesForRequest(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	sl := &SpanLog{}
+	tr := NewTracer(fr).WithSpans(sl).ForRequest(9)
+	tr.StartSpan("dataflow").End()
+	if got := sl.Spans(); len(got) != 1 || got[0].Name != "dataflow" {
+		t.Fatalf("Spans = %+v, want [dataflow]", got)
+	}
+}
+
+func TestSpanLogNilSafe(t *testing.T) {
+	var sl *SpanLog
+	sl.Add("x", 1)
+	if sl.Spans() != nil {
+		t.Error("nil SpanLog is not a no-op")
+	}
+	// WithSpans(nil) leaves the tracer usable and un-teed.
+	tr := NewTracer(NewFlightRecorder(4)).WithSpans(nil)
+	tr.StartSpan("x").End()
+	// Nil tracer stays nil through WithSpans.
+	var nilTr *Tracer
+	if nilTr.WithSpans(&SpanLog{}) != nil {
+		t.Error("nil tracer should stay nil")
+	}
+}
+
+func TestWideEventJSONShape(t *testing.T) {
+	// Sparse events (a /metrics scrape, say) must omit the slicing-
+	// specific fields entirely.
+	b, err := json.Marshal(WideEvent{Req: 1, Method: "GET", Path: "/healthz", Endpoint: "/healthz", Status: 200, Outcome: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"algo", "cache", "incremental", "phases", "error_code"} {
+		if strings.Contains(string(b), `"`+absent+`"`) {
+			t.Errorf("sparse event JSON should omit %q: %s", absent, b)
+		}
+	}
+	// A full event carries everything.
+	full := WideEvent{
+		Req: 2, Method: "POST", Path: "/slice", Endpoint: "/slice", Status: 200,
+		Outcome: "ok", Algo: "agrawal", Stmts: 14, SliceLines: 9, Cache: "hit",
+		Incremental: "patched", Phases: []PhaseDur{{Name: "cfg", NS: 1000}},
+	}
+	b, err = json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WideEvent
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cache != "hit" || back.Incremental != "patched" || len(back.Phases) != 1 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
