@@ -55,6 +55,10 @@
 //	                    slowest-request exemplars.
 //	GET  /debug/build   the binary's build provenance (go version,
 //	                    module path, VCS revision).
+//	GET  /debug/spool   the durable telemetry spool's live stats:
+//	                    resident segments and bytes, enqueue/write/
+//	                    drop counters, and the active segment pointer
+//	                    ({"enabled":false} when -spool-dir is unset).
 //	GET  /healthz       liveness probe; reports the build revision.
 //
 // The access log emits one line per request (-log-format text or
@@ -63,6 +67,24 @@
 // sliding window span, -requests the ring capacity, -runtime-sample
 // the runtime health sampling interval, and -pprof exposes
 // net/http/pprof under /debug/pprof/.
+//
+// # Durability
+//
+// -spool-dir enables the durable telemetry spool: every wide event
+// (span log included) is journaled asynchronously into rotating
+// gzip-compressed JSONL segments under a hard -spool-bytes disk
+// budget, so the request history survives restarts and crashes and
+// can be queried offline with cmd/slicequery. The enqueue is a
+// non-blocking bounded queue — the request path never waits on the
+// disk; a backed-up spool drops records and counts them in the
+// jumpslice_spool_* series and /debug/spool.
+//
+// -postmortem-dir enables post-mortem bundles: on SIGUSR1, on the
+// first recovered panic, and on a fatal exit the daemon writes one
+// self-contained directory (flight-recorder drain, recent wide
+// events, SLO snapshot, goroutine dump, build info, spool pointer) an
+// operator can attach to an incident. See postmortem.go for the
+// bundle schema.
 //
 // Every request gets a monotonically increasing ID, echoed in the
 // X-Request-ID response header and stamped on its trace events, so a
@@ -141,6 +163,7 @@ import (
 	"jumpslice/internal/core"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/obs"
+	"jumpslice/internal/obs/spool"
 	"jumpslice/internal/slicecache"
 )
 
@@ -160,6 +183,9 @@ func main() {
 	slo := flag.String("slo", "", "SLO objectives, e.g. p99=50ms,err=1% (enables burn rates)")
 	flag.BoolVar(&cfg.Pprof, "pprof", cfg.Pprof, "serve net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.RuntimeSample, "runtime-sample", cfg.RuntimeSample, "runtime health sampling interval (0 disables)")
+	flag.StringVar(&cfg.SpoolDir, "spool-dir", cfg.SpoolDir, "durable telemetry spool directory (empty disables)")
+	flag.Int64Var(&cfg.SpoolBytes, "spool-bytes", cfg.SpoolBytes, "spool disk budget in bytes (oldest segments reclaimed)")
+	flag.StringVar(&cfg.PostmortemDir, "postmortem-dir", cfg.PostmortemDir, "post-mortem bundle directory for SIGUSR1/panic/fatal-exit snapshots (empty disables)")
 	flag.Parse()
 	obj, err := obs.ParseObjectives(*slo)
 	if err != nil {
@@ -201,6 +227,14 @@ type config struct {
 	// RuntimeSample is the runtime health sampling interval; <=0
 	// disables the sampler.
 	RuntimeSample time.Duration
+	// SpoolDir enables the durable telemetry spool when non-empty;
+	// SpoolBytes is its hard disk budget (<=0 means the spool
+	// package's default).
+	SpoolDir   string
+	SpoolBytes int64
+	// PostmortemDir enables post-mortem bundles (SIGUSR1, first
+	// recovered panic, fatal exit) when non-empty.
+	PostmortemDir string
 	// Failpoints enables the X-Sliced-Fail request header, which
 	// injects failures into the serving path (value "panic" panics
 	// inside the handler, "block" parks the request until released).
@@ -249,6 +283,29 @@ func serveOn(ln net.Listener, s *server) error {
 		s.sampler = obs.StartRuntimeSampler(s.reg, s.cfg.RuntimeSample)
 		defer s.sampler.Stop()
 	}
+	if err := s.openSpool(); err != nil {
+		return err
+	}
+	// Close on the way out so the active segment is sealed and
+	// indexed even when the listener failed — a clean shutdown must
+	// leave a fully readable spool directory.
+	defer s.spool.Close()
+
+	// SIGUSR1 asks for a post-mortem bundle without stopping the
+	// daemon: the operator's "write down what you know" signal.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			dir, err := s.writePostmortem("sigusr1")
+			if err != nil {
+				s.logger.Printf("postmortem: %v", err)
+				continue
+			}
+			s.logger.Printf("postmortem bundle (sigusr1) written to %s", dir)
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -257,7 +314,7 @@ func serveOn(ln net.Listener, s *server) error {
 
 	select {
 	case err := <-errc:
-		return err
+		return s.postmortemOnFatal(err)
 	case <-ctx.Done():
 	}
 	s.logger.Printf("sliced shutting down (%d requests served, %d shed, %d events written, %d dropped)",
@@ -265,10 +322,10 @@ func serveOn(ln net.Listener, s *server) error {
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		return err
+		return s.postmortemOnFatal(err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
+		return s.postmortemOnFatal(err)
 	}
 	return nil
 }
@@ -309,6 +366,13 @@ type server struct {
 	incrTier map[string]*obs.Counter
 	build    buildDetails
 	sampler  *obs.RuntimeSampler
+	// spool is the durable wide-event journal (nil when -spool-dir is
+	// unset); it is assigned by openSpool before any request is
+	// served, and the nil *spool.Spool is a valid no-op. pmPanic
+	// rate-limits panic-triggered post-mortem bundles to one per
+	// process.
+	spool   *spool.Spool
+	pmPanic atomic.Bool
 	// unblock releases requests parked by the "block" failpoint; the
 	// resilience tests close it to let in-flight work finish.
 	unblock chan struct{}
@@ -392,6 +456,9 @@ func newServer(cfg config, logw io.Writer) *server {
 	mux.HandleFunc("/debug/build", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleBuild,
 	}))
+	mux.HandleFunc("/debug/spool", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleSpool,
+	}))
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -415,6 +482,28 @@ func newServer(cfg config, logw io.Writer) *server {
 // mux. Recovery sits inside the instrumentation so a recovered panic
 // still produces a wide event with its request ID and a 500 response.
 func (s *server) Handler() http.Handler { return s.instrument(s.recoverPanics(s.mux)) }
+
+// openSpool starts the durable telemetry spool when -spool-dir is
+// configured. It must run before the first request is served (serveOn
+// does; tests exercising the spool directly call it too) — the
+// instrument middleware reads s.spool unguarded, relying on that
+// ordering.
+func (s *server) openSpool() error {
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	sp, err := spool.Open(spool.Options{
+		Dir:      s.cfg.SpoolDir,
+		MaxBytes: s.cfg.SpoolBytes,
+		Recorder: s.reg,
+	})
+	if err != nil {
+		return err
+	}
+	s.spool = sp
+	s.logger.Printf("telemetry spool on %s (budget %d bytes)", s.cfg.SpoolDir, sp.Stats().MaxBytes)
+	return nil
+}
 
 type ctxKey int
 
@@ -471,6 +560,7 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 			id := requestID(r)
 			s.logger.Printf("req=%d panic: %v\n%s", id, p, debug.Stack())
 			reqInfoFrom(r).setOutcome("panic")
+			s.postmortemOnPanic()
 			s.fail(w, r, http.StatusInternalServerError, "internal",
 				"internal error serving request %d; see server log", id)
 		}()

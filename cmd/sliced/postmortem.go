@@ -1,0 +1,204 @@
+package main
+
+// Post-mortem bundles: when something goes wrong — a recovered panic,
+// an operator's SIGUSR1, or a fatal exit — the daemon snapshots every
+// in-memory telemetry surface into one self-contained directory under
+// -postmortem-dir. The in-memory planes (flight recorder, wide-event
+// ring, SLO windows) are deliberately lossy and die with the process;
+// the bundle is the moment they get written down, so the evidence for
+// an incident can be attached to it instead of evaporating on
+// restart.
+//
+// A bundle directory contains:
+//
+//	meta.json       why and when the bundle was written, plus the
+//	                process's serving totals; written LAST, so its
+//	                presence marks the bundle complete.
+//	build.json      the binary's provenance (/debug/build).
+//	flight.jsonl    the flight recorder's drained events, oldest
+//	                first (the /debug/flight wire format).
+//	requests.jsonl  the wide-event ring: the last N requests, one
+//	                JSON wide event per line (readable by slicequery
+//	                -bundle).
+//	slo.json        the sliding-window SLO snapshot (/debug/slo).
+//	goroutines.txt  a full goroutine dump.
+//	spool.json      the durable spool's stats, including the active
+//	                segment pointer — the bridge from this bundle to
+//	                the long-horizon history on disk.
+//
+// Bundles triggered by recovered panics are rate-limited to one per
+// process: the first panic writes the evidence, a panic storm must
+// not turn into a disk storm. SIGUSR1 always writes a fresh bundle.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"jumpslice/internal/obs"
+	"jumpslice/internal/obs/spool"
+)
+
+// postmortemMeta is the bundle's meta.json payload.
+type postmortemMeta struct {
+	Reason    string `json:"reason"` // "sigusr1", "panic", "fatal_exit"
+	WrittenNS int64  `json:"written_at_ns"`
+	Written   string `json:"written_at"`
+	PID       int    `json:"pid"`
+	// Serving totals at bundle time.
+	RequestsServed int64  `json:"requests_served"`
+	RequestsShed   int64  `json:"requests_shed"`
+	FlightWritten  uint64 `json:"flight_written"`
+	FlightDropped  uint64 `json:"flight_dropped"`
+	WideEvents     int    `json:"wide_events"`
+}
+
+// spoolDetails is the bundle's spool.json (and /debug/spool) payload.
+type spoolDetails struct {
+	Enabled bool        `json:"enabled"`
+	Stats   spool.Stats `json:"stats,omitempty"`
+}
+
+func (s *server) spoolDetails() spoolDetails {
+	if s.spool == nil {
+		return spoolDetails{}
+	}
+	return spoolDetails{Enabled: true, Stats: s.spool.Stats()}
+}
+
+// writePostmortem writes one bundle and returns its directory. An
+// empty -postmortem-dir disables bundles; callers get an error naming
+// that, not a surprise directory.
+func (s *server) writePostmortem(reason string) (string, error) {
+	if s.cfg.PostmortemDir == "" {
+		return "", fmt.Errorf("post-mortem bundles disabled (-postmortem-dir unset)")
+	}
+	now := time.Now()
+	dir := filepath.Join(s.cfg.PostmortemDir, fmt.Sprintf("bundle-%d-%s", now.UnixNano(), reason))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("postmortem: %w", err)
+	}
+
+	// Flush the spool first so the active segment pointer in
+	// spool.json points at bytes that are actually on disk.
+	s.spool.Sync()
+
+	events := s.requests.Events()
+	if err := writeBundleFile(dir, "flight.jsonl", func(f *os.File) error {
+		return obs.WriteJSONL(f, s.fr.Events())
+	}); err != nil {
+		return dir, err
+	}
+	if err := writeBundleFile(dir, "requests.jsonl", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		for i := range events {
+			if err := enc.Encode(&events[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return dir, err
+	}
+	if err := writeBundleJSON(dir, "slo.json", s.slo.Snapshot()); err != nil {
+		return dir, err
+	}
+	if err := writeBundleJSON(dir, "build.json", s.build); err != nil {
+		return dir, err
+	}
+	if err := writeBundleJSON(dir, "spool.json", s.spoolDetails()); err != nil {
+		return dir, err
+	}
+	if err := writeBundleFile(dir, "goroutines.txt", func(f *os.File) error {
+		_, err := f.Write(allGoroutines())
+		return err
+	}); err != nil {
+		return dir, err
+	}
+	// meta.json last: its presence marks the bundle complete, so a
+	// consumer polling the directory never reads a half-written one.
+	meta := postmortemMeta{
+		Reason:         reason,
+		WrittenNS:      now.UnixNano(),
+		Written:        now.UTC().Format(time.RFC3339Nano),
+		PID:            os.Getpid(),
+		RequestsServed: s.reqID.Load(),
+		RequestsShed:   s.shed.Load(),
+		FlightWritten:  s.fr.Written(),
+		FlightDropped:  s.fr.Dropped(),
+		WideEvents:     len(events),
+	}
+	if err := writeBundleJSON(dir, "meta.json", meta); err != nil {
+		return dir, err
+	}
+	return dir, nil
+}
+
+// postmortemOnPanic writes the once-per-process panic bundle.
+func (s *server) postmortemOnPanic() {
+	if s.cfg.PostmortemDir == "" || !s.pmPanic.CompareAndSwap(false, true) {
+		return
+	}
+	dir, err := s.writePostmortem("panic")
+	if err != nil {
+		s.logger.Printf("postmortem: %v", err)
+		return
+	}
+	s.logger.Printf("postmortem bundle (panic) written to %s", dir)
+}
+
+// postmortemOnFatal snapshots state on the way out of a failing
+// serveOn and passes the original error through.
+func (s *server) postmortemOnFatal(err error) error {
+	if err == nil || s.cfg.PostmortemDir == "" {
+		return err
+	}
+	dir, werr := s.writePostmortem("fatal_exit")
+	if werr != nil {
+		s.logger.Printf("postmortem: %v", werr)
+		return err
+	}
+	s.logger.Printf("postmortem bundle (fatal_exit) written to %s", dir)
+	return err
+}
+
+// writeBundleFile creates one bundle artifact.
+func writeBundleFile(dir, name string, write func(*os.File) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("postmortem: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("postmortem: %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("postmortem: %s: %w", name, err)
+	}
+	return nil
+}
+
+// writeBundleJSON writes one artifact as indented JSON.
+func writeBundleJSON(dir, name string, v any) error {
+	return writeBundleFile(dir, name, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}
+
+// allGoroutines captures a full goroutine dump, growing the buffer
+// until the dump fits.
+func allGoroutines() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

@@ -106,7 +106,7 @@ func endpointOf(path string) string {
 	switch path {
 	case "/slice", "/session", "/metrics", "/healthz",
 		"/debug/flight", "/debug/trace", "/debug/cache",
-		"/debug/requests", "/debug/slo", "/debug/build":
+		"/debug/requests", "/debug/slo", "/debug/build", "/debug/spool":
 		return path
 	}
 	if strings.HasPrefix(path, "/session/") {
@@ -177,6 +177,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			Phases:      ri.spans.Spans(),
 		}
 		s.requests.Record(ev)
+		s.spool.Enqueue(ev)
 		s.slo.Observe(ev.Endpoint, ev.Status, ev.Outcome == "shed", dur, id)
 		if c := s.incrTier[ev.Incremental]; c != nil {
 			c.Add(1)
@@ -231,6 +232,9 @@ func (s *server) logAccess(ev *obs.WideEvent) {
 //	?status=N     only events with that exact response status
 //	?min_ms=N     only events at least N milliseconds slow
 //	?endpoint=E   only events on that normalized endpoint
+//	?outcome=O    only events that ended that way (one of the
+//	              outcome taxonomy: ok, client_error, error, shed,
+//	              timeout, canceled, panic)
 //	?n=N          at most the newest N matching events
 func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
@@ -277,6 +281,18 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	outcome, haveOutcome := "", false
+	if vs, present := q["outcome"]; present {
+		haveOutcome = true
+		if len(vs) > 0 {
+			outcome = vs[0]
+		}
+		if !validOutcomes[outcome] {
+			s.fail(w, r, http.StatusUnprocessableEntity, "invalid_parameter",
+				"parameter outcome must be one of ok|client_error|error|shed|timeout|canceled|panic, got %q", outcome)
+			return
+		}
+	}
 
 	all := s.requests.Events()
 	matched := make([]obs.WideEvent, 0, len(all))
@@ -290,6 +306,9 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		if haveEndpoint && e.Endpoint != endpoint {
 			continue
 		}
+		if haveOutcome && e.Outcome != outcome {
+			continue
+		}
 		matched = append(matched, e)
 	}
 	if haveN && n < len(matched) {
@@ -301,6 +320,22 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		Count    int             `json:"count"`
 		Requests []obs.WideEvent `json:"requests"`
 	}{s.requests.Written(), s.requests.Cap(), len(matched), matched})
+}
+
+// validOutcomes is the closed outcome taxonomy every wide event's
+// Outcome field draws from (see outcomeOf). The ?outcome= filter
+// validates against it so a typo answers 422, not an empty result.
+var validOutcomes = map[string]bool{
+	"ok": true, "client_error": true, "error": true, "shed": true,
+	"timeout": true, "canceled": true, "panic": true,
+}
+
+// handleSpool (GET /debug/spool) reports the durable telemetry
+// spool's health: resident segments and bytes against the budget,
+// enqueue/write/drop totals, and the active segment pointer. With no
+// -spool-dir configured it reports {"enabled": false}.
+func (s *server) handleSpool(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.spoolDetails())
 }
 
 // handleSLO (GET /debug/slo) serves the sliding-window SLO view:

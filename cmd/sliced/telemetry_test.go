@@ -190,11 +190,59 @@ func TestRequestsFilters(t *testing.T) {
 	}
 }
 
+// TestRequestsOutcomeFilter pins the ?outcome= filter: it matches the
+// event taxonomy exactly and composes with the other filters.
+func TestRequestsOutcomeFilter(t *testing.T) {
+	_, ts := newTestServer(t)
+	postSlice(t, ts, "var=positives&line=14", fig5(t))
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/slice?var=positives&line=14", strings.NewReader(fig5(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Sliced-Fail", "panic")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if page := getRequests(t, ts.URL, "?outcome=ok"); page.Count < 1 {
+		t.Errorf("outcome=ok: %+v", page)
+	} else {
+		for _, ev := range page.Requests {
+			if ev.Outcome != "ok" {
+				t.Errorf("outcome=ok returned %+v", ev)
+			}
+		}
+	}
+	if page := getRequests(t, ts.URL, "?outcome=client_error"); page.Count != 1 || page.Requests[0].Status != 404 {
+		t.Errorf("outcome=client_error: %+v", page)
+	}
+	if page := getRequests(t, ts.URL, "?outcome=panic"); page.Count != 1 || page.Requests[0].Status != 500 {
+		t.Errorf("outcome=panic: %+v", page)
+	}
+	if page := getRequests(t, ts.URL, "?outcome=shed"); page.Count != 0 {
+		t.Errorf("outcome=shed should match nothing here: %+v", page)
+	}
+	// Composition: outcome + endpoint.
+	if page := getRequests(t, ts.URL, "?outcome=ok&endpoint=/slice"); page.Count != 1 {
+		t.Errorf("outcome=ok&endpoint=/slice: %+v", page)
+	}
+}
+
 func TestRequestsFilterValidation(t *testing.T) {
 	_, ts := newTestServer(t)
 	for _, query := range []string{
 		"?status=bogus", "?status=99", "?status=600", "?status=",
 		"?min_ms=-1", "?min_ms=fast", "?n=-2", "?n=abc", "?endpoint=",
+		"?outcome=", "?outcome=OK", "?outcome=success", "?outcome=ok%20",
 	} {
 		resp, err := http.Get(ts.URL + "/debug/requests" + query)
 		if err != nil {

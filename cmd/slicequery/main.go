@@ -1,0 +1,410 @@
+// Command slicequery is the offline analytics half of the sliced
+// telemetry plane: it answers questions about requests the daemon
+// served in the past, from the durable artifacts the daemon left
+// behind — a telemetry spool directory (-spool) or a post-mortem
+// bundle (-bundle). It needs no running daemon and no dependencies
+// beyond the standard library.
+//
+// Usage:
+//
+//	slicequery -spool DIR [flags] [command]
+//	slicequery -bundle DIR [flags] [command]
+//
+// Commands:
+//
+//	summary    outcome taxonomy, latency percentiles, and a
+//	           per-endpoint table over the matching events (default)
+//	top        the N slowest matching requests, each with its
+//	           per-phase pipeline breakdown
+//	list       one line per matching event, oldest first
+//	request    full reconstruction of one request by -id; with -raw,
+//	           the stored JSON record verbatim (byte-for-byte what
+//	           the daemon wrote)
+//
+// Filters (combine freely; all must match):
+//
+//	-since T / -until T   bound the arrival time; T is RFC3339, a
+//	                      unix-nanosecond integer, or a Go duration
+//	                      meaning "that long ago" (-since 15m)
+//	-endpoint E           the normalized route ("/slice")
+//	-status N             the exact response status
+//	-outcome O            ok|client_error|error|shed|timeout|canceled|panic
+//	-min-ms N             at least N milliseconds slow
+//
+// Examples:
+//
+//	slicequery -spool /var/lib/sliced/spool summary
+//	slicequery -spool spool -outcome error -since 1h top
+//	slicequery -spool spool -id 1742 -raw request
+//	slicequery -bundle /var/lib/sliced/pm/bundle-...-panic summary
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jumpslice/internal/obs"
+	"jumpslice/internal/obs/spool"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// validOutcomes mirrors the daemon's closed outcome taxonomy.
+var validOutcomes = map[string]bool{
+	"ok": true, "client_error": true, "error": true, "shed": true,
+	"timeout": true, "canceled": true, "panic": true,
+}
+
+// record is one matching event plus the raw stored bytes it was
+// parsed from (the daemon's exact json.Marshal output).
+type record struct {
+	ev  obs.WideEvent
+	raw []byte
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slicequery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		spoolDir  = fs.String("spool", "", "telemetry spool directory to query")
+		bundleDir = fs.String("bundle", "", "post-mortem bundle directory to query")
+		since     = fs.String("since", "", "only events at or after this time (RFC3339, unix ns, or duration ago)")
+		until     = fs.String("until", "", "only events at or before this time (RFC3339, unix ns, or duration ago)")
+		endpoint  = fs.String("endpoint", "", "only events on this normalized endpoint")
+		status    = fs.Int("status", 0, "only events with this exact response status")
+		outcome   = fs.String("outcome", "", "only events with this outcome (ok|client_error|error|shed|timeout|canceled|panic)")
+		minMS     = fs.Int64("min-ms", 0, "only events at least this many milliseconds slow")
+		topN      = fs.Int("n", 10, "row limit for top and list (0 = unlimited for list)")
+		reqID     = fs.Uint64("id", 0, "request ID for the request command")
+		raw       = fs.Bool("raw", false, "request command: print the stored JSON record verbatim")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: slicequery (-spool DIR | -bundle DIR) [flags] [summary|top|list|request]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	cmd := fs.Arg(0)
+	if cmd == "" {
+		cmd = "summary"
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "slicequery: "+format+"\n", args...)
+		return 1
+	}
+	if (*spoolDir == "") == (*bundleDir == "") {
+		fs.Usage()
+		return fail("exactly one of -spool or -bundle is required")
+	}
+	if *outcome != "" && !validOutcomes[*outcome] {
+		return fail("-outcome must be one of ok|client_error|error|shed|timeout|canceled|panic, got %q", *outcome)
+	}
+	f := spool.Filter{
+		Endpoint: *endpoint,
+		Status:   *status,
+		Outcome:  *outcome,
+		MinDurNS: *minMS * int64(time.Millisecond),
+		Req:      *reqID,
+	}
+	var err error
+	if f.SinceNS, err = parseTime(*since); err != nil {
+		return fail("-since: %v", err)
+	}
+	if f.UntilNS, err = parseTime(*until); err != nil {
+		return fail("-until: %v", err)
+	}
+	if cmd == "request" && *reqID == 0 {
+		return fail("request command needs -id")
+	}
+
+	var recs []record
+	source := ""
+	switch {
+	case *spoolDir != "":
+		source = fmt.Sprintf("spool %s", *spoolDir)
+		err = spool.Scan(*spoolDir, f, func(ev *obs.WideEvent, line []byte) error {
+			recs = append(recs, record{ev: *ev, raw: append([]byte(nil), line...)})
+			return nil
+		})
+	default:
+		source = fmt.Sprintf("bundle %s", *bundleDir)
+		recs, err = readBundle(*bundleDir, &f)
+	}
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	switch cmd {
+	case "summary":
+		printSummary(stdout, source, recs)
+	case "top":
+		printTop(stdout, recs, *topN)
+	case "list":
+		printList(stdout, recs, *topN)
+	case "request":
+		rec := findRequest(recs, *reqID)
+		if rec == nil {
+			return fail("request %d not found in %s", *reqID, source)
+		}
+		if *raw {
+			fmt.Fprintf(stdout, "%s\n", rec.raw)
+			return 0
+		}
+		printRequest(stdout, rec)
+	default:
+		fs.Usage()
+		return fail("unknown command %q", cmd)
+	}
+	return 0
+}
+
+// parseTime resolves a -since/-until value to unix nanoseconds: empty
+// means unbounded, RFC3339 is absolute, a bare integer is unix
+// nanoseconds, and a Go duration means that long before now.
+func parseTime(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.UnixNano(), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return time.Now().Add(-d).UnixNano(), nil
+	}
+	return 0, fmt.Errorf("want RFC3339 time, unix nanoseconds, or a duration like 15m, got %q", s)
+}
+
+// readBundle loads a post-mortem bundle's requests.jsonl, applying
+// the same filter semantics a spool scan would.
+func readBundle(dir string, f *spool.Filter) ([]record, error) {
+	path := filepath.Join(dir, "requests.jsonl")
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var recs []record
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.WideEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if !f.Match(&ev) {
+			continue
+		}
+		recs = append(recs, record{ev: ev, raw: append([]byte(nil), line...)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func findRequest(recs []record, id uint64) *record {
+	for i := range recs {
+		if recs[i].ev.Req == id {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// pct returns the exact p-th percentile of sorted durations
+// (nearest-rank method).
+func pct(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtTime(ns int64) string {
+	return time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+}
+
+func printSummary(w io.Writer, source string, recs []record) {
+	fmt.Fprintf(w, "source: %s\n", source)
+	fmt.Fprintf(w, "events: %d\n", len(recs))
+	if len(recs) == 0 {
+		return
+	}
+	minTS, maxTS := recs[0].ev.TimeNS, recs[0].ev.TimeNS
+	outcomes := map[string]int{}
+	durs := make([]int64, 0, len(recs))
+	type epStat struct {
+		count, errs int
+		durs        []int64
+	}
+	byEP := map[string]*epStat{}
+	for i := range recs {
+		ev := &recs[i].ev
+		if ev.TimeNS < minTS {
+			minTS = ev.TimeNS
+		}
+		if ev.TimeNS > maxTS {
+			maxTS = ev.TimeNS
+		}
+		outcomes[ev.Outcome]++
+		durs = append(durs, ev.DurationNS)
+		st := byEP[ev.Endpoint]
+		if st == nil {
+			st = &epStat{}
+			byEP[ev.Endpoint] = st
+		}
+		st.count++
+		if ev.Status >= 500 {
+			st.errs++
+		}
+		st.durs = append(st.durs, ev.DurationNS)
+	}
+	fmt.Fprintf(w, "range:  %s .. %s\n", fmtTime(minTS), fmtTime(maxTS))
+
+	fmt.Fprintf(w, "outcomes:\n")
+	names := make([]string, 0, len(outcomes))
+	for name := range outcomes {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if outcomes[names[i]] != outcomes[names[j]] {
+			return outcomes[names[i]] > outcomes[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		n := outcomes[name]
+		fmt.Fprintf(w, "  %-12s %7d  %5.1f%%\n", name, n, 100*float64(n)/float64(len(recs)))
+	}
+
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	fmt.Fprintf(w, "latency: p50=%s p90=%s p99=%s max=%s\n",
+		fmtDur(pct(durs, 50)), fmtDur(pct(durs, 90)), fmtDur(pct(durs, 99)), fmtDur(durs[len(durs)-1]))
+
+	eps := make([]string, 0, len(byEP))
+	for ep := range byEP {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if byEP[eps[i]].count != byEP[eps[j]].count {
+			return byEP[eps[i]].count > byEP[eps[j]].count
+		}
+		return eps[i] < eps[j]
+	})
+	fmt.Fprintf(w, "endpoints:\n")
+	fmt.Fprintf(w, "  %-18s %7s %7s %10s %10s\n", "ENDPOINT", "COUNT", "5XX", "P50", "P99")
+	for _, ep := range eps {
+		st := byEP[ep]
+		sort.Slice(st.durs, func(i, j int) bool { return st.durs[i] < st.durs[j] })
+		fmt.Fprintf(w, "  %-18s %7d %7d %10s %10s\n",
+			ep, st.count, st.errs, fmtDur(pct(st.durs, 50)), fmtDur(pct(st.durs, 99)))
+	}
+}
+
+func printTop(w io.Writer, recs []record, n int) {
+	if n <= 0 {
+		n = 10
+	}
+	sorted := make([]*record, len(recs))
+	for i := range recs {
+		sorted[i] = &recs[i]
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].ev.DurationNS != sorted[j].ev.DurationNS {
+			return sorted[i].ev.DurationNS > sorted[j].ev.DurationNS
+		}
+		return sorted[i].ev.Req < sorted[j].ev.Req
+	})
+	if n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	fmt.Fprintf(w, "top %d slowest of %d events:\n", len(sorted), len(recs))
+	for _, rec := range sorted {
+		ev := &rec.ev
+		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s\n",
+			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome)
+		if len(ev.Phases) > 0 {
+			parts := make([]string, len(ev.Phases))
+			for i, p := range ev.Phases {
+				parts[i] = fmt.Sprintf("%s=%s", p.Name, fmtDur(p.NS))
+			}
+			fmt.Fprintf(w, "    phases: %s\n", strings.Join(parts, " "))
+		}
+	}
+}
+
+func printList(w io.Writer, recs []record, n int) {
+	if n > 0 && n < len(recs) {
+		recs = recs[len(recs)-n:]
+	}
+	for i := range recs {
+		ev := &recs[i].ev
+		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s\n",
+			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome)
+	}
+}
+
+func printRequest(w io.Writer, rec *record) {
+	ev := &rec.ev
+	fmt.Fprintf(w, "request %d\n", ev.Req)
+	fmt.Fprintf(w, "  time:     %s\n", fmtTime(ev.TimeNS))
+	fmt.Fprintf(w, "  request:  %s %s  (endpoint %s)\n", ev.Method, ev.Path, ev.Endpoint)
+	fmt.Fprintf(w, "  status:   %d  outcome=%s", ev.Status, ev.Outcome)
+	if ev.ErrorCode != "" {
+		fmt.Fprintf(w, "  code=%s", ev.ErrorCode)
+	}
+	fmt.Fprintf(w, "\n")
+	fmt.Fprintf(w, "  duration: %s  bytes_out=%d\n", fmtDur(ev.DurationNS), ev.BytesOut)
+	if ev.Algo != "" || ev.Stmts > 0 || ev.SliceLines > 0 {
+		fmt.Fprintf(w, "  slicing:  algo=%s stmts=%d slice_lines=%d\n", ev.Algo, ev.Stmts, ev.SliceLines)
+	}
+	if ev.Cache != "" || ev.Incremental != "" {
+		fmt.Fprintf(w, "  tiers:    cache=%s incremental=%s\n", ev.Cache, ev.Incremental)
+	}
+	if len(ev.Phases) > 0 {
+		fmt.Fprintf(w, "  phases:\n")
+		var total int64
+		for _, p := range ev.Phases {
+			total += p.NS
+		}
+		for _, p := range ev.Phases {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(p.NS) / float64(total)
+			}
+			fmt.Fprintf(w, "    %-14s %12s  %5.1f%%\n", p.Name, fmtDur(p.NS), share)
+		}
+		fmt.Fprintf(w, "    %-14s %12s\n", "(phase total)", fmtDur(total))
+	}
+}

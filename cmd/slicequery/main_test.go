@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jumpslice/internal/obs"
+	"jumpslice/internal/obs/spool"
+)
+
+// seedEvents is the fixture fleet: a mix of endpoints, statuses,
+// outcomes and durations with known request IDs.
+func seedEvents() []obs.WideEvent {
+	evs := make([]obs.WideEvent, 0, 20)
+	for i := 1; i <= 20; i++ {
+		ev := obs.WideEvent{
+			Req:        uint64(i),
+			TimeNS:     int64(i) * 1_000_000, // 1ms apart
+			Method:     "POST",
+			Path:       "/slice",
+			Endpoint:   "/slice",
+			Status:     200,
+			DurationNS: int64(i) * int64(1_000_000), // i ms
+			BytesOut:   int64(100 + i),
+			Outcome:    "ok",
+			Algo:       "agrawal",
+			Stmts:      20,
+			SliceLines: 9,
+			Phases: []obs.PhaseDur{
+				{Name: "parse", NS: 100_000},
+				{Name: "cfg", NS: 200_000},
+				{Name: "slice", NS: int64(i) * 500_000},
+			},
+		}
+		switch {
+		case i%7 == 0:
+			ev.Status, ev.Outcome, ev.ErrorCode = 500, "error", "internal"
+		case i%5 == 0:
+			ev.Method, ev.Path, ev.Endpoint = "GET", "/healthz", "/healthz"
+			ev.Algo, ev.Stmts, ev.SliceLines, ev.Phases = "", 0, 0, nil
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// makeSpool writes the fixture events into a fresh spool directory.
+func makeSpool(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := spool.Open(spool.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range seedEvents() {
+		if !s.Enqueue(ev) {
+			t.Fatal("enqueue rejected")
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// makeBundle writes the fixture events as a bundle's requests.jsonl.
+func makeBundle(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "requests.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range seedEvents() {
+		if err := enc.Encode(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// query runs the CLI and returns its stdout, failing on nonzero exit.
+func query(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb strings.Builder
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("slicequery %v exited %d: %s", args, code, errb.String())
+	}
+	return out.String()
+}
+
+func TestSummaryFromSpool(t *testing.T) {
+	dir := makeSpool(t)
+	out := query(t, "-spool", dir, "summary")
+	for _, want := range []string{
+		"events: 20",
+		"ok", "error",
+		"latency:", "p50=", "p99=",
+		"/slice", "/healthz",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+	// 2 of 20 events are 500s (i=7,14).
+	if !strings.Contains(out, "error") || !strings.Contains(out, "10.0%") {
+		t.Errorf("summary should show the 10%% error share:\n%s", out)
+	}
+}
+
+func TestSummaryIsDefaultCommand(t *testing.T) {
+	dir := makeSpool(t)
+	if got, want := query(t, "-spool", dir), query(t, "-spool", dir, "summary"); got != want {
+		t.Error("bare invocation and explicit summary disagree")
+	}
+}
+
+func TestTopShowsPhaseBreakdown(t *testing.T) {
+	dir := makeSpool(t)
+	out := query(t, "-spool", dir, "-n", "3", "top")
+	if !strings.Contains(out, "top 3 slowest of 20 events") {
+		t.Errorf("top header wrong:\n%s", out)
+	}
+	// Slowest is req=20 (20ms), which kept its phases.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[1], "req=20") {
+		t.Errorf("slowest request should lead:\n%s", out)
+	}
+	// req=20 is a phase-less /healthz probe; req=19 is the slowest
+	// slicing request and must carry its breakdown.
+	if !strings.Contains(out, "phases: parse=") || !strings.Contains(out, "slice=9.5ms") {
+		t.Errorf("top should show phase breakdowns:\n%s", out)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	dir := makeSpool(t)
+	out := query(t, "-spool", dir, "-outcome", "error", "list")
+	if n := strings.Count(out, "req="); n != 2 {
+		t.Errorf("outcome=error matched %d events, want 2:\n%s", n, out)
+	}
+	out = query(t, "-spool", dir, "-endpoint", "/healthz", "-n", "0", "list")
+	if n := strings.Count(out, "req="); n != 4 {
+		t.Errorf("endpoint=/healthz matched %d events, want 4 (i=5,10,15,20):\n%s", n, out)
+	}
+	out = query(t, "-spool", dir, "-min-ms", "18", "-n", "0", "list")
+	if n := strings.Count(out, "req="); n != 3 {
+		t.Errorf("min-ms=18 matched %d events, want 3 (18,19,20ms):\n%s", n, out)
+	}
+	out = query(t, "-spool", dir, "-status", "500", "-n", "0", "list")
+	if n := strings.Count(out, "req="); n != 2 {
+		t.Errorf("status=500 matched %d events, want 2:\n%s", n, out)
+	}
+	// Unix-nanosecond time bounds: events 1..20 at i*1ms.
+	out = query(t, "-spool", dir, "-since", "15000000", "-n", "0", "list")
+	if n := strings.Count(out, "req="); n != 6 {
+		t.Errorf("since=15ms matched %d events, want 6 (15..20):\n%s", n, out)
+	}
+}
+
+func TestRequestReconstruction(t *testing.T) {
+	dir := makeSpool(t)
+	out := query(t, "-spool", dir, "-id", "3", "request")
+	for _, want := range []string{
+		"request 3",
+		"POST /slice",
+		"algo=agrawal stmts=20 slice_lines=9",
+		"parse", "cfg", "slice",
+		"(phase total)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRequestRawIsByteForByte pins the acceptance criterion: -raw
+// must reproduce exactly the bytes the daemon stored — which are
+// exactly json.Marshal of the wide event.
+func TestRequestRawIsByteForByte(t *testing.T) {
+	dir := makeSpool(t)
+	for _, ev := range seedEvents() {
+		want, err := json.Marshal(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := query(t, "-spool", dir, "-id", fmt.Sprint(ev.Req), "-raw", "request")
+		if got := strings.TrimSuffix(out, "\n"); got != string(want) {
+			t.Fatalf("req=%d raw mismatch:\n got %s\nwant %s", ev.Req, got, want)
+		}
+	}
+}
+
+func TestBundleSource(t *testing.T) {
+	dir := makeBundle(t)
+	out := query(t, "-bundle", dir, "summary")
+	if !strings.Contains(out, "events: 20") {
+		t.Errorf("bundle summary wrong:\n%s", out)
+	}
+	// Raw bytes survive the bundle path too.
+	ev := seedEvents()[0]
+	want, _ := json.Marshal(&ev)
+	out = query(t, "-bundle", dir, "-id", "1", "-raw", "request")
+	if got := strings.TrimSuffix(out, "\n"); got != string(want) {
+		t.Errorf("bundle raw mismatch:\n got %s\nwant %s", got, want)
+	}
+	// Filters apply on the bundle path.
+	out = query(t, "-bundle", dir, "-outcome", "error", "list")
+	if n := strings.Count(out, "req="); n != 2 {
+		t.Errorf("bundle outcome=error matched %d, want 2:\n%s", n, out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := makeSpool(t)
+	cases := [][]string{
+		{},                                        // no source
+		{"-spool", dir, "-bundle", dir},           // both sources
+		{"-spool", dir, "-outcome", "nope"},       // invalid outcome
+		{"-spool", dir, "request"},                // request without -id
+		{"-spool", dir, "-id", "999", "request"},  // unknown request
+		{"-spool", dir, "-since", "yesterday"},    // unparseable time
+		{"-spool", dir, "frobnicate"},             // unknown command
+		{"-bundle", t.TempDir(), "summary"},       // bundle without requests.jsonl
+		{"-spool", filepath.Join(dir, "missing")}, // missing spool dir
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("slicequery %v should fail, got exit 0 with output:\n%s", args, out.String())
+		} else if errb.Len() == 0 {
+			t.Errorf("slicequery %v failed silently", args)
+		}
+	}
+}
+
+func TestDurationSince(t *testing.T) {
+	dir := makeSpool(t)
+	// All fixture events are in 1970; "1h ago" excludes everything.
+	out := query(t, "-spool", dir, "-since", "1h", "summary")
+	if !strings.Contains(out, "events: 0") {
+		t.Errorf("duration -since should exclude epoch-era events:\n%s", out)
+	}
+}

@@ -2,8 +2,9 @@
 // daemon: top(1) for the slicing plane. It polls GET /metrics and
 // GET /debug/slo and renders throughput, latency percentiles, error
 // and shed rates, burn rates against the daemon's SLO objectives,
-// cache effectiveness, the incremental reuse tier mix, and runtime
-// health — everything an operator watches during a rollout, in one
+// cache effectiveness, the incremental reuse tier mix, runtime
+// health, and the durable telemetry spool's disk residency and drop
+// count — everything an operator watches during a rollout, in one
 // screen, with no dependencies beyond a terminal.
 //
 // Usage:
@@ -246,6 +247,15 @@ func render(w io.Writer, cur, prev *sample, base string) error {
 				shortDur(int64(cur.get("jumpslice_runtime_gc_pause_ns_sum")/n)))
 		}
 		fmt.Fprintln(w)
+	}
+
+	// Spool health (present when the daemon runs with -spool-dir).
+	if enq := cur.get("jumpslice_spool_enqueued_total"); enq > 0 {
+		fmt.Fprintf(w, "spool: %d segments, %s resident, %d written, %d dropped\n",
+			int64(cur.get("jumpslice_spool_segments")),
+			humanBytes(cur.get("jumpslice_spool_resident_bytes")),
+			int64(cur.get("jumpslice_spool_written_total")),
+			int64(cur.get("jumpslice_spool_dropped_total")))
 	}
 
 	// Pipeline totals.

@@ -388,10 +388,11 @@ func (r *Registry) Snapshot() *Snapshot {
 // not rebuilt", and how reuses split between them depends on whether
 // the second request arrived during or after the first's build — pure
 // scheduling. The fold keeps the deterministic total. Finally it
-// drops every instrument under the "runtime." and "http." prefixes
-// entirely — runtime-health samples (goroutine counts, heap sizes,
-// GC pause counts) and request-serving telemetry depend on the
-// machine, the scheduler, and the sampling clock, so even their
+// drops every instrument under the "runtime.", "http." and "spool."
+// prefixes entirely — runtime-health samples (goroutine counts, heap
+// sizes, GC pause counts), request-serving telemetry, and the durable
+// spool's rotation/drop accounting depend on the machine, the
+// scheduler, disk speed, and the sampling clock, so even their
 // observation counts are nondeterministic. Two runs of the same
 // deterministic workload produce byte-identical scrubbed snapshots at
 // any parallelism; cmd/slicebench's determinism test relies on this.
@@ -440,6 +441,10 @@ func (s *Snapshot) Scrub() *Snapshot {
 
 // scrubbedName reports whether an instrument is scheduling- or
 // environment-dependent in its entirety and must not survive Scrub.
+// spool.* instruments count: segment rotation and queue drops depend
+// on disk speed and batching timing, not on the analysis under test.
 func scrubbedName(name string) bool {
-	return strings.HasPrefix(name, "runtime.") || strings.HasPrefix(name, "http.")
+	return strings.HasPrefix(name, "runtime.") ||
+		strings.HasPrefix(name, "http.") ||
+		strings.HasPrefix(name, "spool.")
 }

@@ -156,6 +156,34 @@ func TestScrubFoldsCacheSplit(t *testing.T) {
 	}
 }
 
+// TestScrubDropsEnvironmentPrefixes asserts Scrub removes every
+// instrument whose whole existence is machine/scheduling-dependent:
+// runtime health samples, request-serving telemetry, and the durable
+// spool's disk accounting.
+func TestScrubDropsEnvironmentPrefixes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jumps.analyzed").Add(4)
+	r.Counter("runtime.gc_cycles").Add(2)
+	r.Counter("http.incr.patched").Add(9)
+	r.Counter("spool.enqueued").Add(7)
+	r.Counter("spool.dropped").Add(1)
+	r.Gauge("spool.resident_bytes").Set(4096)
+	r.Gauge("spool.segments").Set(3)
+	r.Histogram("spool.batch", UnitCount).Observe(5)
+	data, err := json.Marshal(r.Snapshot().Scrub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []string{"runtime.", "http.", "spool."} {
+		if strings.Contains(string(data), gone) {
+			t.Errorf("scrubbed snapshot still carries %s instruments:\n%s", gone, data)
+		}
+	}
+	if !strings.Contains(string(data), "jumps.analyzed") {
+		t.Errorf("scrub dropped a deterministic counter:\n%s", data)
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -1,0 +1,297 @@
+package spool
+
+// Reading spool directories: segment discovery, sidecar indexes, and
+// crash-tolerant record iteration. This is the offline half the
+// writer never touches — cmd/slicequery and the recovery pass in Open
+// are its consumers.
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"jumpslice/internal/obs"
+)
+
+// File name conventions of a spool directory.
+const (
+	// SegmentSuffix is the suffix of segment data files
+	// (seg-NNNNNNNN.jsonl.gz).
+	SegmentSuffix = ".jsonl.gz"
+	// IndexSuffix is the suffix of sidecar index files
+	// (seg-NNNNNNNN.idx.json).
+	IndexSuffix = ".idx.json"
+)
+
+// Index is a sealed segment's sidecar: enough metadata to decide
+// whether the segment can possibly match a time-range or request-ID
+// query without decompressing it.
+type Index struct {
+	// Segment is the data file's base name.
+	Segment string `json:"segment"`
+	// Records is the number of records in the segment; Bytes its
+	// compressed on-disk size at seal time.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// MinTSNS/MaxTSNS bound the records' arrival times (ts_ns);
+	// MinReq/MaxReq bound their request IDs.
+	MinTSNS int64  `json:"min_ts_ns"`
+	MaxTSNS int64  `json:"max_ts_ns"`
+	MinReq  uint64 `json:"min_req"`
+	MaxReq  uint64 `json:"max_req"`
+	// SealedNS is when the segment was sealed.
+	SealedNS int64 `json:"sealed_at_ns"`
+	// Recovered marks an index rebuilt by Open after a crash left the
+	// segment unsealed; its Records count only what survived.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// note folds one record into the index bounds.
+func (x *Index) note(ev *obs.WideEvent, first bool) {
+	if first {
+		x.MinTSNS, x.MaxTSNS = ev.TimeNS, ev.TimeNS
+		x.MinReq, x.MaxReq = ev.Req, ev.Req
+	} else {
+		if ev.TimeNS < x.MinTSNS {
+			x.MinTSNS = ev.TimeNS
+		}
+		if ev.TimeNS > x.MaxTSNS {
+			x.MaxTSNS = ev.TimeNS
+		}
+		if ev.Req < x.MinReq {
+			x.MinReq = ev.Req
+		}
+		if ev.Req > x.MaxReq {
+			x.MaxReq = ev.Req
+		}
+	}
+	x.Records++
+}
+
+// indexPath maps a segment data path to its sidecar path.
+func indexPath(segPath string) string {
+	return strings.TrimSuffix(segPath, SegmentSuffix) + IndexSuffix
+}
+
+// writeIndex writes the sidecar atomically (temp file + rename), so a
+// reader never sees a half-written index.
+func writeIndex(path string, x *Index) error {
+	data, err := json.MarshalIndent(x, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("spool: %w", err)
+	}
+	return nil
+}
+
+// SegmentInfo describes one segment found in a spool directory.
+type SegmentInfo struct {
+	// Path is the data file; Seq its parsed sequence number.
+	Path string
+	Seq  uint64
+	// Index is the parsed sidecar, nil when the segment is unsealed
+	// (the active segment, or one left behind by a crash).
+	Index     *Index
+	IndexPath string
+}
+
+// Segments lists a spool directory's segments, oldest (lowest
+// sequence) first, pairing each with its sidecar index when present.
+func Segments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	var out []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, SegmentSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%d", &seq); err != nil {
+			continue
+		}
+		info := SegmentInfo{Path: filepath.Join(dir, name), Seq: seq}
+		idxPath := indexPath(info.Path)
+		if data, err := os.ReadFile(idxPath); err == nil {
+			idx := &Index{}
+			if json.Unmarshal(data, idx) == nil {
+				info.Index = idx
+				info.IndexPath = idxPath
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// ReadSegment streams a segment's records through fn. Truncation — a
+// crash mid-batch, or reading the active segment while the writer is
+// alive — is not an error: iteration stops cleanly at the last intact
+// record. A non-nil error from fn aborts and is returned; ErrStop
+// ends iteration early without error.
+func ReadSegment(path string, fn func(ev *obs.WideEvent) error) error {
+	err := readSegmentRaw(path, func(line []byte, ev *obs.WideEvent) error { return fn(ev) })
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ErrStop is fn's way to end a ReadSegment or Scan iteration early
+// without reporting an error.
+var ErrStop = errors.New("spool: stop")
+
+func readSegmentRaw(path string, fn func(line []byte, ev *obs.WideEvent) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil // empty active segment: nothing flushed yet
+		}
+		return fmt.Errorf("spool: %s: %w", path, err)
+	}
+	// Multistream handling is gzip's default; a truncated final
+	// stream surfaces as ErrUnexpectedEOF from Read, which the
+	// scanner loop below treats as end-of-data.
+	sc := bufio.NewScanner(gz)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev := &obs.WideEvent{}
+		if err := json.Unmarshal(line, ev); err != nil {
+			// A partial final line from an unflushed batch; everything
+			// before it was intact.
+			return nil
+		}
+		if err := fn(line, ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !isTruncatedGzip(err) {
+		return fmt.Errorf("spool: %s: %w", path, err)
+	}
+	return nil
+}
+
+// isTruncatedGzip reports whether err is the flate/gzip noise a
+// truncated (crash- or mid-write-read) stream produces.
+func isTruncatedGzip(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, gzip.ErrChecksum) {
+		return true
+	}
+	return strings.Contains(err.Error(), "unexpected EOF") ||
+		strings.Contains(err.Error(), "corrupt input")
+}
+
+// Filter selects records for Scan. The zero Filter matches every
+// record.
+type Filter struct {
+	// SinceNS/UntilNS bound TimeNS (inclusive); zero means unbounded.
+	SinceNS int64
+	UntilNS int64
+	// Endpoint, Status, Outcome match exactly when set; MinDurNS is
+	// the minimum duration; Req, when nonzero, selects one request ID.
+	Endpoint string
+	Status   int
+	Outcome  string
+	MinDurNS int64
+	Req      uint64
+}
+
+// matchIndex reports whether a sealed segment can possibly hold a
+// matching record; unsealed segments always can.
+func (f *Filter) matchIndex(x *Index) bool {
+	if x == nil {
+		return true
+	}
+	if f.SinceNS != 0 && x.MaxTSNS < f.SinceNS {
+		return false
+	}
+	if f.UntilNS != 0 && x.MinTSNS > f.UntilNS {
+		return false
+	}
+	if f.Req != 0 && (f.Req < x.MinReq || f.Req > x.MaxReq) {
+		return false
+	}
+	return true
+}
+
+// Match reports whether one record passes the filter.
+func (f *Filter) Match(ev *obs.WideEvent) bool {
+	if f.SinceNS != 0 && ev.TimeNS < f.SinceNS {
+		return false
+	}
+	if f.UntilNS != 0 && ev.TimeNS > f.UntilNS {
+		return false
+	}
+	if f.Endpoint != "" && ev.Endpoint != f.Endpoint {
+		return false
+	}
+	if f.Status != 0 && ev.Status != f.Status {
+		return false
+	}
+	if f.Outcome != "" && ev.Outcome != f.Outcome {
+		return false
+	}
+	if f.MinDurNS != 0 && ev.DurationNS < f.MinDurNS {
+		return false
+	}
+	if f.Req != 0 && ev.Req != f.Req {
+		return false
+	}
+	return true
+}
+
+// Scan streams every matching record of a spool directory through fn
+// in segment order (oldest segment first, record order within), using
+// sidecar indexes to skip segments that cannot match. fn receives the
+// record and its raw stored JSON line (valid only during the call);
+// returning ErrStop ends the whole scan early without error.
+func Scan(dir string, f Filter, fn func(ev *obs.WideEvent, raw []byte) error) error {
+	segs, err := Segments(dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if !f.matchIndex(seg.Index) {
+			continue
+		}
+		err := readSegmentRaw(seg.Path, func(line []byte, ev *obs.WideEvent) error {
+			if !f.Match(ev) {
+				return nil
+			}
+			return fn(ev, line)
+		})
+		if errors.Is(err, ErrStop) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,520 @@
+package spool
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jumpslice/internal/obs"
+)
+
+// ev builds a distinguishable test record; the Phases slice makes it
+// a faithful stand-in for a real wide event with a teed span log.
+func ev(req uint64, endpoint string, status int, durNS int64) obs.WideEvent {
+	return obs.WideEvent{
+		Req:        req,
+		TimeNS:     int64(req) * 1000,
+		Method:     "POST",
+		Path:       endpoint,
+		Endpoint:   endpoint,
+		Status:     status,
+		DurationNS: durNS,
+		BytesOut:   42,
+		Outcome:    "ok",
+		Algo:       "agrawal",
+		Phases:     []obs.PhaseDur{{Name: "parse", NS: 100}, {Name: "cfg", NS: 200}},
+	}
+}
+
+func openTest(t *testing.T, dir string, opts Options) *Spool {
+	t.Helper()
+	opts.Dir = dir
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func collect(t *testing.T, dir string, f Filter) []obs.WideEvent {
+	t.Helper()
+	var out []obs.WideEvent
+	if err := Scan(dir, f, func(e *obs.WideEvent, raw []byte) error {
+		out = append(out, *e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	want := []obs.WideEvent{ev(1, "/slice", 200, 5e6), ev(2, "/metrics", 200, 1e5), ev(3, "/slice", 422, 2e6)}
+	for _, e := range want {
+		if !s.Enqueue(e) {
+			t.Fatal("enqueue rejected")
+		}
+	}
+	s.Sync()
+
+	// The flushed active segment is readable while the spool is open.
+	got := collect(t, dir, Filter{})
+	if len(got) != len(want) {
+		t.Fatalf("live read: got %d records, want %d", len(got), len(want))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = collect(t, dir, Filter{})
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		if string(gj) != string(wj) {
+			t.Errorf("record %d: got %s, want %s", i, gj, wj)
+		}
+	}
+	st := s.Stats()
+	if st.Written != 3 || st.Enqueued != 3 || st.Dropped != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestRotationAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 512}) // tiny: force rotations
+	const n = 200
+	for i := uint64(1); i <= n; i++ {
+		s.Enqueue(ev(i, "/slice", 200, int64(i)*1e5))
+		if i%10 == 0 {
+			s.Sync() // flush per batch so the compressed size is seen
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments after rotation, got %d", len(segs))
+	}
+	var total int64
+	var lastMax uint64
+	for _, seg := range segs {
+		if seg.Index == nil {
+			t.Fatalf("segment %s has no index after Close", seg.Path)
+		}
+		if seg.Index.Records == 0 {
+			t.Errorf("segment %s: empty index", seg.Path)
+		}
+		if seg.Index.MinReq <= lastMax && lastMax != 0 {
+			t.Errorf("segment %s: request ranges overlap (%d <= %d)", seg.Path, seg.Index.MinReq, lastMax)
+		}
+		if seg.Index.MinTSNS > seg.Index.MaxTSNS || seg.Index.MinReq > seg.Index.MaxReq {
+			t.Errorf("segment %s: inverted bounds %+v", seg.Path, seg.Index)
+		}
+		fi, err := os.Stat(seg.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != seg.Index.Bytes {
+			t.Errorf("segment %s: index bytes %d, file %d", seg.Path, seg.Index.Bytes, fi.Size())
+		}
+		lastMax = seg.Index.MaxReq
+		total += seg.Index.Records
+	}
+	if total != n {
+		t.Errorf("indexes count %d records, want %d", total, n)
+	}
+	if got := collect(t, dir, Filter{}); len(got) != n {
+		t.Errorf("scan found %d records, want %d", len(got), n)
+	}
+}
+
+func TestScanUsesIndexPruning(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 512})
+	for i := uint64(1); i <= 100; i++ {
+		s.Enqueue(ev(i, "/slice", 200, 1e6))
+		s.Sync()
+	}
+	s.Close()
+
+	// Request-ID pruning: exactly one record matches.
+	got := collect(t, dir, Filter{Req: 57})
+	if len(got) != 1 || got[0].Req != 57 {
+		t.Fatalf("Filter{Req:57}: %+v", got)
+	}
+	// Time-range pruning (TimeNS = req*1000).
+	got = collect(t, dir, Filter{SinceNS: 90_000})
+	if len(got) != 11 {
+		t.Errorf("SinceNS: got %d, want 11", len(got))
+	}
+	got = collect(t, dir, Filter{UntilNS: 10_000})
+	if len(got) != 10 {
+		t.Errorf("UntilNS: got %d, want 10", len(got))
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	e := ev(7, "/slice", 503, 9e6)
+	e.Outcome = "shed"
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		{Filter{}, true},
+		{Filter{Endpoint: "/slice"}, true},
+		{Filter{Endpoint: "/metrics"}, false},
+		{Filter{Status: 503}, true},
+		{Filter{Status: 200}, false},
+		{Filter{Outcome: "shed"}, true},
+		{Filter{Outcome: "ok"}, false},
+		{Filter{MinDurNS: 1e6}, true},
+		{Filter{MinDurNS: 1e9}, false},
+		{Filter{Req: 7}, true},
+		{Filter{Req: 8}, false},
+		{Filter{SinceNS: 8000}, false},
+		{Filter{UntilNS: 6000}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Match(&e); got != c.want {
+			t.Errorf("case %d (%+v): got %v, want %v", i, c.f, got, c.want)
+		}
+	}
+}
+
+func TestDiskBudgetReclaimsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 512, MaxBytes: 2048})
+	for i := uint64(1); i <= 500; i++ {
+		s.Enqueue(ev(i, "/slice", 200, 1e6))
+		if i%10 == 0 {
+			s.Sync()
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	if st.ReclaimedSegs == 0 {
+		t.Fatal("no segments reclaimed under a 2KiB budget")
+	}
+	if st.ResidentBytes > 2048 {
+		t.Errorf("resident %d bytes over the %d budget", st.ResidentBytes, 2048)
+	}
+	// The survivors are the newest records.
+	got := collect(t, dir, Filter{})
+	if len(got) == 0 || len(got) == 500 {
+		t.Fatalf("survivors: %d", len(got))
+	}
+	if got[len(got)-1].Req != 500 {
+		t.Errorf("newest record lost: last req = %d", got[len(got)-1].Req)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Req <= got[i-1].Req {
+			t.Fatalf("records out of order at %d: %d then %d", i, got[i-1].Req, got[i].Req)
+		}
+	}
+}
+
+func TestFullQueueDropsWithoutBlocking(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{QueueDepth: 2})
+	// Park the writer with a slow sync? No: simply flood far past the
+	// queue depth before the writer can drain — some records must be
+	// dropped or written, none may block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= 10000; i++ {
+			s.Enqueue(ev(i, "/slice", 200, 1e6))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Enqueue blocked")
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Enqueued != 10000 {
+		t.Errorf("enqueued = %d, want 10000", st.Enqueued)
+	}
+	if st.Written+st.Dropped != st.Enqueued {
+		t.Errorf("written %d + dropped %d != enqueued %d", st.Written, st.Dropped, st.Enqueued)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	for i := uint64(1); i <= 20; i++ {
+		s.Enqueue(ev(i, "/slice", 200, 1e6))
+	}
+	s.Sync()
+	// Simulate a crash: the active segment was flushed but never
+	// sealed — no gzip trailer, no index. Copy the live bytes aside,
+	// "restart" on a fresh view of the directory.
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Index != nil {
+		t.Fatalf("precondition: want one unsealed segment, got %+v", segs)
+	}
+	crashed := t.TempDir()
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crashed, filepath.Base(segs[0].Path)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen over the crashed copy: recovery must index the orphan
+	// and continue numbering past it.
+	s2 := openTest(t, crashed, Options{})
+	segs, err = Segments(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovered *Index
+	for _, seg := range segs {
+		if seg.Index != nil && seg.Index.Recovered {
+			recovered = seg.Index
+		}
+	}
+	if recovered == nil {
+		t.Fatal("no recovered index written")
+	}
+	if recovered.Records != 20 || recovered.MinReq != 1 || recovered.MaxReq != 20 {
+		t.Errorf("recovered index: %+v", recovered)
+	}
+	// New records land in a new, higher-numbered segment.
+	s2.Enqueue(ev(21, "/slice", 200, 1e6))
+	s2.Close()
+	got := collect(t, crashed, Filter{})
+	if len(got) != 21 {
+		t.Errorf("after recovery + append: %d records, want 21", len(got))
+	}
+}
+
+func TestTruncatedTailIsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	for i := uint64(1); i <= 10; i++ {
+		s.Enqueue(ev(i, "/slice", 200, 1e6))
+	}
+	s.Sync()
+	segs, _ := Segments(dir)
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Chop bytes off the flushed stream: the reader must surface the
+	// intact prefix and no error.
+	trunc := filepath.Join(t.TempDir(), "seg-00000000.jsonl.gz")
+	if err := os.WriteFile(trunc, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ReadSegment(trunc, func(e *obs.WideEvent) error { n++; return nil }); err != nil {
+		t.Fatalf("truncated read errored: %v", err)
+	}
+	if n == 0 || n > 10 {
+		t.Errorf("truncated read yielded %d records", n)
+	}
+}
+
+func TestNilSpoolIsNoop(t *testing.T) {
+	var s *Spool
+	if s.Enqueue(ev(1, "/x", 200, 1)) {
+		t.Error("nil Enqueue accepted")
+	}
+	s.Sync()
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("nil Stats: %+v", st)
+	}
+}
+
+func TestEnqueueAfterCloseRejected(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	s.Close()
+	if s.Enqueue(ev(1, "/x", 200, 1)) {
+		t.Error("Enqueue accepted after Close")
+	}
+	s.Sync() // must not panic
+}
+
+func TestRecorderInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{Recorder: reg})
+	s.Enqueue(ev(1, "/slice", 200, 1e6))
+	s.Sync()
+	s.Close()
+	snap := reg.Snapshot()
+	byName := map[string]int64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		byName[g.Name] = g.Value
+	}
+	if byName["spool.enqueued"] != 1 || byName["spool.written"] != 1 {
+		t.Errorf("counters: %+v", byName)
+	}
+	if _, ok := byName["spool.segments"]; !ok {
+		t.Error("spool.segments gauge missing")
+	}
+}
+
+// TestConcurrentStress is the -race stress test: many writers enqueue
+// through rotations and reclamation while Stats and a live Scan read
+// concurrently; afterwards the accounting must balance exactly and
+// every surviving record must parse.
+func TestConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 2048, MaxBytes: 16384, QueueDepth: 64})
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e := ev(uint64(w*perWriter+i+1), fmt.Sprintf("/slice/%d", w), 200, int64(i)*1e3)
+				s.Enqueue(e)
+			}
+		}(w)
+	}
+	// Concurrent readers of the shared state.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(2)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// A live scan races segment reclamation by design; it
+				// must never error on a vanished segment's records —
+				// but an os-level open of a removed file is fine to
+				// surface, so only assert it doesn't panic.
+				Scan(dir, Filter{}, func(e *obs.WideEvent, raw []byte) error { return nil })
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Enqueued != writers*perWriter {
+		t.Errorf("enqueued = %d, want %d", st.Enqueued, writers*perWriter)
+	}
+	if st.Written+st.Dropped != st.Enqueued {
+		t.Errorf("written %d + dropped %d != enqueued %d", st.Written, st.Dropped, st.Enqueued)
+	}
+	if st.ResidentBytes > 16384+2048 {
+		t.Errorf("resident %d far over budget", st.ResidentBytes)
+	}
+	// Every surviving record parses and carries its phases.
+	n := 0
+	if err := Scan(dir, Filter{}, func(e *obs.WideEvent, raw []byte) error {
+		if e.Req == 0 || len(e.Phases) != 2 {
+			t.Errorf("mangled record: %+v", e)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no records survived the stress run")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with no dir must error")
+	}
+}
+
+func TestScanStopsEarly(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	for i := uint64(1); i <= 10; i++ {
+		s.Enqueue(ev(i, "/slice", 200, 1e6))
+	}
+	s.Close()
+	n := 0
+	if err := Scan(dir, Filter{}, func(e *obs.WideEvent, raw []byte) error {
+		n++
+		if n == 3 {
+			return ErrStop
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("scan visited %d records after ErrStop at 3", n)
+	}
+}
+
+func TestRawLinesAreStoredJSON(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	e := ev(9, "/slice", 200, 7e6)
+	s.Enqueue(e)
+	s.Close()
+	want, _ := json.Marshal(&e)
+	found := false
+	Scan(dir, Filter{Req: 9}, func(got *obs.WideEvent, raw []byte) error {
+		found = true
+		if string(raw) != string(want) {
+			t.Errorf("raw line:\n got %s\nwant %s", raw, want)
+		}
+		if strings.Contains(string(raw), "\n") {
+			t.Error("raw line contains a newline")
+		}
+		return nil
+	})
+	if !found {
+		t.Fatal("record not found")
+	}
+}
