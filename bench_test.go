@@ -615,3 +615,72 @@ func BenchmarkIncrementalEdit(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSliceSDG measures the two-pass interprocedural slice on a
+// generated multi-procedure program set, split into the two phases a
+// serving process actually sees: the first slice of a fresh program
+// set runs the HRB summary-edge worklist before its two traversals
+// ("cold"), every later slice reuses the cached summaries ("warm").
+// The acceptance target — gated in benchgate — is warm ≤ 20% of cold:
+// summary construction must amortize across a slice session. The
+// criterion is the main write whose slice is smallest, so the gated
+// ratio isolates the summary worklist rather than closure size, and
+// the warm slice is asserted identical to the cold one before timing.
+func BenchmarkSliceSDG(b *testing.B) {
+	p := progen.MultiProc(progen.Config{Seed: 11, Stmts: 40, Procs: 16, Vars: 24})
+	crits := progen.MainWriteCriteria(p)
+	if len(crits) == 0 {
+		b.Fatal("multi-procedure corpus program has no main write criteria")
+	}
+	pick := func() (core.Criterion, []int) {
+		ps, err := core.AnalyzeProgramSet(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, bestLines := core.Criterion{}, []int(nil)
+		for _, wc := range crits {
+			s, err := ps.SliceInterproc(core.Criterion{Var: wc.Var, Line: wc.Line})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bestLines == nil || len(s.Lines()) < len(bestLines) {
+				best, bestLines = s.Criterion, s.Lines()
+			}
+		}
+		return best, bestLines
+	}
+	c, coldLines := pick()
+
+	warmSet, err := core.AnalyzeProgramSet(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := warmSet.SliceInterproc(c) // computes the summaries once
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fmt.Sprint(warm.Lines()) != fmt.Sprint(coldLines) {
+		b.Fatalf("warm slice %v differs from cold slice %v", warm.Lines(), coldLines)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ps, err := core.AnalyzeProgramSet(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := ps.SliceInterproc(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := warmSet.SliceInterproc(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

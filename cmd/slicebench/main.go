@@ -1,5 +1,5 @@
 // Command slicebench runs the repository's quantitative experiments
-// (EXPERIMENTS.md, tables E1–E4, E6 and E7) over generated program
+// (EXPERIMENTS.md, tables E1–E4 and E6–E8) over generated program
 // corpora:
 //
 //	slicebench -exp precision   # E1: slice sizes per algorithm
@@ -8,6 +8,7 @@
 //	slicebench -exp traversals  # E4: PDT traversal distribution
 //	slicebench -exp dynamic     # E6: dynamic vs static slice sizes
 //	slicebench -exp incr        # E7: incremental re-analysis tiers
+//	slicebench -exp sdg         # E8: interprocedural (SDG) slicing
 //	slicebench -exp all
 //
 // Corpus shape is controlled by -seeds and -stmts. Corpus programs
@@ -78,7 +79,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|incr|all")
+	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|incr|sdg|all")
 	seeds := fs.Int("seeds", 100, "number of generated programs per corpus")
 	stmts := fs.Int("stmts", 30, "approximate statements per program")
 	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
@@ -184,6 +185,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			printIncr(out, rows)
 			return nil
 		},
+		"sdg": func() error {
+			rows, err := exps.SDG(o)
+			if err != nil {
+				return err
+			}
+			report.E8 = rows
+			printSDG(out, o, rows)
+			return nil
+		},
 	}
 
 	var order []string
@@ -191,7 +201,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "all":
 		// Wall-clock tables (E3, E7) print after the deterministic ones
 		// so byte-comparing runs only has to strip a suffix.
-		order = []string{"precision", "soundness", "traversals", "dynamic", "timing", "incr"}
+		order = []string{"precision", "soundness", "traversals", "dynamic", "timing", "incr", "sdg"}
 	default:
 		if steps[*exp] == nil {
 			return fmt.Errorf("unknown experiment %q", *exp)
@@ -319,6 +329,18 @@ func printIncr(out io.Writer, rows []exps.IncrRow) {
 			time.Duration(r.MeanIncrNs).Round(time.Microsecond),
 			time.Duration(r.MeanColdNs).Round(time.Microsecond),
 			100*r.MeanRatio)
+	}
+}
+
+func printSDG(out io.Writer, o exps.Options, rows []exps.SDGRow) {
+	fmt.Fprintf(out, "\nE8: interprocedural (SDG) slicing, %d program sets per procedure count\n", o.Seeds)
+	fmt.Fprintf(out, "%6s %6s %7s %10s %10s %9s %8s %12s %12s\n",
+		"procs", "sets", "cases", "mean stmt", "mean jump", "summary", "rounds", "cold/slice", "warm/slice")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%6d %6d %7d %10.2f %10.2f %9.1f %8.1f %12s %12s\n",
+			r.Procs, r.Sets, r.Cases, r.MeanLines, r.MeanJumps, r.MeanSummary, r.MeanRounds,
+			time.Duration(r.MeanColdNs).Round(time.Microsecond),
+			time.Duration(r.MeanWarmNs).Round(time.Microsecond))
 	}
 }
 

@@ -720,7 +720,7 @@ func (s *server) failErr(w http.ResponseWriter, r *http.Request, stage string, e
 }
 
 // knownAlgos are the /slice algo values coreSlice dispatches.
-var knownAlgos = []string{"agrawal", "agrawal-lst", "structured", "conservative", "conventional"}
+var knownAlgos = []string{"agrawal", "agrawal-lst", "structured", "conservative", "conventional", "sdg"}
 
 // parseSliceRequest decodes either request form, enforcing the body
 // byte limit. Every error is a client fault with its own status:
@@ -862,6 +862,11 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	ri.setAlgo(req.Algo)
 	start := time.Now()
 
+	if req.Algo == "sdg" {
+		s.handleSliceSDG(ctx, w, r, req, explain, id, ri, start, tr)
+		return
+	}
+
 	a := s.analysisFor(ctx, w, r, req.Source, tr)
 	if a == nil {
 		return // analysisFor already answered
@@ -896,6 +901,59 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Reasons = p.LineReasons()
 		resp.Listing = p.Listing()
+	}
+	resp.DurationNS = time.Since(start).Nanoseconds()
+	ri.setSliceLines(len(resp.Lines))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSliceSDG serves algo=sdg: the interprocedural (system
+// dependence graph) slice. Programs here may declare procedures, so
+// the request goes through core.AnalyzeProgramSet rather than the
+// single-procedure analysis cache — the ETag (full source + criterion
+// + algorithm) already content-addresses every procedure text, so 304
+// revalidation works unchanged. Explain reports the interprocedural
+// edge evidence (call, param-in, param-out, summary) per slice line.
+func (s *server) handleSliceSDG(ctx context.Context, w http.ResponseWriter, r *http.Request, req *sliceRequest, explain bool, id uint64, ri *reqInfo, start time.Time, tr *obs.Tracer) {
+	prog, err := lang.Parse(req.Source)
+	if err != nil {
+		s.failErr(w, r, "analyze", httpErrorf(http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err))
+		return
+	}
+	stmts := len(lang.Statements(prog))
+	if stmts > s.cfg.MaxStmts {
+		s.failErr(w, r, "analyze", httpErrorf(http.StatusRequestEntityTooLarge, "program_too_large",
+			"program has %d statements, over the %d limit", stmts, s.cfg.MaxStmts))
+		return
+	}
+	ps, err := core.AnalyzeProgramSetObservedContext(ctx, prog, s.reg, tr)
+	if err != nil {
+		s.failErr(w, r, "analyze", err)
+		return
+	}
+	ri.setStmts(stmts)
+	sl, err := ps.SliceInterproc(core.Criterion{Var: req.Var, Line: req.Line})
+	if err != nil {
+		s.failErr(w, r, "slice", err)
+		return
+	}
+	resp := &sliceResponse{
+		Request:    id,
+		Algorithm:  sl.Algorithm,
+		Var:        req.Var,
+		Line:       req.Line,
+		Lines:      sl.Lines(),
+		Traversals: sl.Traversals,
+		Text:       sl.Format(),
+	}
+	for _, u := range ps.Units {
+		for _, nid := range sl.PerProc[u.Index].JumpsAdded {
+			resp.JumpLines = append(resp.JumpLines, u.Sub.CFG.Nodes[nid].Line)
+		}
+	}
+	sort.Ints(resp.JumpLines)
+	if explain {
+		resp.Reasons = sl.EdgeReasons()
 	}
 	resp.DurationNS = time.Since(start).Nanoseconds()
 	ri.setSliceLines(len(resp.Lines))

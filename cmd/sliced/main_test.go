@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"jumpslice/internal/obs"
 )
 
 // fig5 is the Figure 5-a program (continue version): the slice on
@@ -423,5 +425,67 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down within 10s of SIGTERM")
+	}
+}
+
+const sdgTestProgram = `proc add(s, x) {
+    s = s + x;
+}
+read(a);
+read(b);
+sum = 0;
+cnt = 0;
+call add(sum, a);
+call add(cnt, b);
+write(sum);
+write(cnt);
+`
+
+func TestSliceSDG(t *testing.T) {
+	s, ts := newTestServer(t)
+	_, sr := postSlice(t, ts, "var=sum&line=10&algo=sdg&explain=1", sdgTestProgram)
+	if sr.Algorithm != "sdg" {
+		t.Errorf("algorithm = %q, want sdg", sr.Algorithm)
+	}
+	// The slice must cross the call boundary: the proc body (line 2)
+	// and the relevant call chain, but not the cnt chain.
+	want := []int{2, 4, 6, 8, 10}
+	if fmt.Sprint(sr.Lines) != fmt.Sprint(want) {
+		t.Errorf("lines = %v, want %v", sr.Lines, want)
+	}
+	if !strings.Contains(sr.Text, "proc add(s, x)") {
+		t.Errorf("text lost the proc declaration:\n%s", sr.Text)
+	}
+	var reasons []string
+	for _, rs := range sr.Reasons {
+		reasons = append(reasons, rs...)
+	}
+	joined := strings.Join(reasons, "\n")
+	for _, kind := range []string{"param-in", "param-out", "summary", "call"} {
+		if !strings.Contains(joined, kind) {
+			t.Errorf("explain reasons missing %q edge kind:\n%s", kind, joined)
+		}
+	}
+	// The interprocedural path reports under its own metric namespace.
+	var buf strings.Builder
+	obs.WritePrometheus(&buf, s.reg.Snapshot())
+	if !strings.Contains(buf.String(), "jumpslice_sdg_slices_total") {
+		t.Error("metrics missing jumpslice_sdg_slices_total after an sdg request")
+	}
+}
+
+func TestSliceSDGRejectsProcsOnIntraproceduralAlgos(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/slice?var=sum&line=10&algo=agrawal", "text/plain", strings.NewReader(sdgTestProgram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("intraprocedural algo accepted a multi-procedure program")
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(data), "AnalyzeProgramSet") {
+		t.Errorf("error should direct to interprocedural analysis: %s", data)
 	}
 }

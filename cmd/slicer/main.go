@@ -45,6 +45,7 @@ import (
 	"os"
 	"strings"
 
+	"sort"
 	"strconv"
 
 	"jumpslice/internal/baselines"
@@ -99,11 +100,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	c := core.Criterion{Var: *varName, Line: *line}
+
+	// The SDG algorithm has its own analysis entry point (and is the
+	// only algorithm accepting programs with procedure declarations).
+	if *algo == "sdg" {
+		if *graph != "" || *flatten || *restructureFlag {
+			return fmt.Errorf("-graph, -flatten and -restructure are not supported with -algo sdg")
+		}
+		return runSDG(out, prog, c, *lines, *stats, *explain)
+	}
+
 	a, err := core.Analyze(prog)
 	if err != nil {
 		return err
 	}
-	c := core.Criterion{Var: *varName, Line: *line}
 
 	if *restructureFlag {
 		flat, err := restructure.Program(prog)
@@ -182,6 +193,50 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, s.Format())
 	if *stats {
 		printStats(out, s)
+	}
+	return nil
+}
+
+// runSDG computes and prints the interprocedural (HRB two-pass) slice.
+func runSDG(out io.Writer, prog *lang.Program, c core.Criterion, lines, stats, explain bool) error {
+	ps, err := core.AnalyzeProgramSet(prog)
+	if err != nil {
+		return err
+	}
+	s, err := ps.SliceInterproc(c)
+	if err != nil {
+		return err
+	}
+	if lines {
+		var parts []string
+		for _, l := range s.Lines() {
+			parts = append(parts, fmt.Sprintf("%d", l))
+		}
+		fmt.Fprintln(out, strings.Join(parts, " "))
+		return nil
+	}
+	fmt.Fprintf(out, "// sdg slice with respect to %s\n", c)
+	fmt.Fprint(out, s.Format())
+	if explain {
+		reasons := s.EdgeReasons()
+		var rlines []int
+		for l := range reasons {
+			rlines = append(rlines, l)
+		}
+		sort.Ints(rlines)
+		fmt.Fprintf(out, "\n// interprocedural edges into each line:\n")
+		for _, l := range rlines {
+			for _, r := range reasons[l] {
+				fmt.Fprintf(out, "// line %d: %s\n", l, r)
+			}
+		}
+	}
+	if stats {
+		st := ps.SDG.Stats()
+		fmt.Fprintf(out, "\n// traversals: %d\n", s.Traversals)
+		fmt.Fprintf(out, "// jumps added beyond conventional: %d\n", s.JumpsAdded)
+		fmt.Fprintf(out, "// sdg: %d procs, %d vertices, %d summary edges (%d worklist rounds)\n",
+			st.Procs, st.Verts, st.SummaryEdges, st.SummaryRounds)
 	}
 	return nil
 }

@@ -41,6 +41,7 @@ const (
 	KindContinue
 	KindReturn
 	KindSkip // empty statement; no effect
+	KindCall // procedure call statement
 )
 
 var kindNames = [...]string{
@@ -48,6 +49,7 @@ var kindNames = [...]string{
 	KindRead: "read", KindWrite: "write", KindPredicate: "predicate",
 	KindSwitch: "switch", KindGoto: "goto", KindBreak: "break",
 	KindContinue: "continue", KindReturn: "return", KindSkip: "skip",
+	KindCall: "call",
 }
 
 // String returns the kind's name.
@@ -455,6 +457,8 @@ func (b *builder) createNodes(s lang.Stmt) {
 		g.addNode(KindReturn, s)
 	case *lang.EmptyStmt:
 		g.addNode(KindSkip, s)
+	case *lang.CallStmt:
+		g.addNode(KindCall, s)
 	case *lang.IfStmt:
 		g.addNode(KindPredicate, s)
 		b.createNodes(s.Then)
@@ -501,7 +505,7 @@ func (b *builder) entry(s lang.Stmt) *Node { return b.g.EntryOf(s) }
 func (b *builder) wire(s lang.Stmt, next, brk, cont *Node) *Node {
 	g := b.g
 	switch s := s.(type) {
-	case *lang.AssignStmt, *lang.ReadStmt, *lang.WriteStmt, *lang.EmptyStmt:
+	case *lang.AssignStmt, *lang.ReadStmt, *lang.WriteStmt, *lang.CallStmt, *lang.EmptyStmt:
 		n := g.stmtNode[s]
 		g.addEdge(n, next, "")
 		return n

@@ -239,6 +239,9 @@ func AnalyzeObserved(prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Ana
 // context that can never be canceled (context.Background) disables
 // the checks.
 func AnalyzeObservedContext(ctx context.Context, prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*Analysis, error) {
+	if len(prog.Procs) > 0 {
+		return nil, fmt.Errorf("core: program declares procedures; use AnalyzeProgramSet for interprocedural analysis")
+	}
 	rec = obs.OrNop(rec)
 	// phase times one construction phase on both sinks: the metrics
 	// histogram and, when tracing, the event journal.

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"jumpslice/internal/bits"
+	"jumpslice/internal/cfg"
+	"jumpslice/internal/lang"
+	"jumpslice/internal/obs"
+	"jumpslice/internal/sdg"
+)
+
+// This file is the interprocedural layer: a program with procedure
+// declarations is analyzed per procedure with the existing machinery
+// (each body gets its own flowgraph, dominators, dependence graphs,
+// and lexical successor tree — jump statements never cross a
+// procedure boundary, so all of the paper's Figure 7 reasoning stays
+// per-procedure), the per-procedure results are stitched into a
+// system dependence graph (internal/sdg), and slices are computed
+// with the Horwitz–Reps–Binkley two-pass algorithm over summary
+// edges, followed by the Figure 7 jump repair run inside each
+// procedure against its local projection of the slice.
+
+// ProcUnit is the per-procedure analysis of one program-set member.
+type ProcUnit struct {
+	// Index is the unit's position in ProgramSet.Units and its
+	// procedure index in the SDG.
+	Index int
+	// Name is the procedure name; "" for main.
+	Name string
+	// Decl is the source declaration; nil for main.
+	Decl *lang.ProcDecl
+	// Sub is the full single-procedure analysis of the body: the
+	// procedure's statements under a synthetic Program, so every
+	// intraprocedural structure (CFG, PDT, CDG, RD, PDG, LST) and
+	// every intraprocedural algorithm applies unchanged.
+	Sub *Analysis
+}
+
+// ProgramSet is the interprocedural analogue of Analysis: the
+// per-procedure analyses of a multi-procedure program plus their
+// system dependence graph. Build it once with AnalyzeProgramSet, then
+// compute any number of slices from it; the SDG's summary edges are
+// computed lazily on the first slice and cached, so repeat slices of
+// the same set skip the interprocedural fixpoint entirely.
+type ProgramSet struct {
+	Prog *lang.Program
+	// Units holds the procedures in declaration order, then main
+	// last; indices match SDG procedure indices.
+	Units []*ProcUnit
+	// SDG is the system dependence graph over the units.
+	SDG *sdg.Graph
+
+	rec obs.Recorder
+	tr  *obs.Tracer
+	sm  sdgMetrics
+
+	summaryOnce sync.Once
+	summaryErr  error
+}
+
+// sdgMetrics is the ProgramSet's pre-resolved instrument set.
+type sdgMetrics struct {
+	slices        *obs.Counter
+	summaryEdges  *obs.Counter
+	summaryRounds *obs.Counter
+	jumpsAdmitted *obs.Counter
+}
+
+func (m *sdgMetrics) resolve(rec obs.Recorder) {
+	m.slices = rec.Counter("sdg.slices")
+	m.summaryEdges = rec.Counter("sdg.summary_edges")
+	m.summaryRounds = rec.Counter("sdg.summary_rounds")
+	m.jumpsAdmitted = rec.Counter("sdg.jumps_admitted")
+}
+
+// AnalyzeProgramSet analyzes a program that may declare procedures.
+// Programs without procedures are legal — the set then has a single
+// unit (main) and SliceInterproc degenerates to the intraprocedural
+// Agrawal algorithm, producing the identical slice.
+func AnalyzeProgramSet(prog *lang.Program) (*ProgramSet, error) {
+	return AnalyzeProgramSetObservedContext(context.Background(), prog, obs.Nop, nil)
+}
+
+// AnalyzeProgramSetObserved is AnalyzeProgramSet with a recorder and
+// tracer attached; both are passed through to every per-procedure
+// analysis, so the usual phase.analyze.* spans are reported once per
+// unit.
+func AnalyzeProgramSetObserved(prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*ProgramSet, error) {
+	return AnalyzeProgramSetObservedContext(context.Background(), prog, rec, tr)
+}
+
+// AnalyzeProgramSetObservedContext is AnalyzeProgramSetObserved bound
+// to a request context, which cancels both the per-procedure analyses
+// and every later closure walk on the set (including summary
+// computation).
+func AnalyzeProgramSetObservedContext(ctx context.Context, prog *lang.Program, rec obs.Recorder, tr *obs.Tracer) (*ProgramSet, error) {
+	rec = obs.OrNop(rec)
+	sp := rec.StartSpan("phase.analyze.sdg")
+	ts := tr.StartSpan("phase.analyze.sdg")
+	defer func() { ts.End(); sp.End() }()
+
+	ps := &ProgramSet{Prog: prog, rec: rec, tr: tr}
+	ps.sm.resolve(rec)
+	analyzeBody := func(name string, decl *lang.ProcDecl, body []lang.Stmt, labels map[string]*lang.LabeledStmt) error {
+		synthetic := &lang.Program{Body: body, Labels: labels}
+		sub, err := AnalyzeObservedContext(ctx, synthetic, rec, tr)
+		if err != nil {
+			if name == "" {
+				return fmt.Errorf("core: analyzing main: %w", err)
+			}
+			return fmt.Errorf("core: analyzing proc %s: %w", name, err)
+		}
+		ps.Units = append(ps.Units, &ProcUnit{
+			Index: len(ps.Units),
+			Name:  name,
+			Decl:  decl,
+			Sub:   sub,
+		})
+		return nil
+	}
+	for _, d := range prog.Procs {
+		if err := analyzeBody(d.Name, d, d.Body, d.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if err := analyzeBody("", nil, prog.Body, prog.Labels); err != nil {
+		return nil, err
+	}
+
+	infos := make([]*sdg.ProcInfo, len(ps.Units))
+	for i, u := range ps.Units {
+		info := &sdg.ProcInfo{
+			Name:  u.Name,
+			CFG:   u.Sub.CFG,
+			CDG:   u.Sub.CDG,
+			RD:    u.Sub.RD,
+			Extra: map[int][]int{},
+		}
+		if u.Decl != nil {
+			info.Params = u.Decl.Params
+			info.DeclLine = u.Decl.P.Line
+		}
+		// The two slice invariants the engines encode as extra
+		// dependence edges (see batchEngine): closures over the SDG
+		// are normalized by construction.
+		for _, cj := range u.Sub.condJumps {
+			info.Extra[cj.pred] = append(info.Extra[cj.pred], cj.jump)
+		}
+		for _, id := range u.Sub.switchNodes {
+			info.Extra[id] = append(info.Extra[id], u.Sub.enclosingSwitch[id])
+		}
+		infos[i] = info
+	}
+	g, err := sdg.Build(infos)
+	if err != nil {
+		return nil, err
+	}
+	ps.SDG = g
+	return ps, nil
+}
+
+// MainUnit returns the unit of the top-level statements.
+func (ps *ProgramSet) MainUnit() *ProcUnit { return ps.Units[len(ps.Units)-1] }
+
+// Unit returns the unit of the named procedure ("" for main).
+func (ps *ProgramSet) Unit(name string) *ProcUnit {
+	for _, u := range ps.Units {
+		if u.Name == name {
+			return u
+		}
+	}
+	return nil
+}
+
+// UnitAtLine returns the unit whose body contains the source line.
+func (ps *ProgramSet) UnitAtLine(line int) *ProcUnit {
+	for _, u := range ps.Units {
+		if len(u.Sub.CFG.NodesAtLine(line)) > 0 {
+			return u
+		}
+	}
+	return nil
+}
+
+// EnsureSummaries runs the HRB summary-edge worklist if it has not
+// run yet; SliceInterproc calls it implicitly, so the only reason to
+// call it directly is to front-load the cost (or measure it).
+func (ps *ProgramSet) EnsureSummaries() error {
+	ps.summaryOnce.Do(func() {
+		sp := ps.rec.StartSpan("phase.sdg.summaries")
+		ts := ps.tr.StartSpan("phase.sdg.summaries")
+		defer func() { ts.End(); sp.End() }()
+		edges, rounds, err := ps.SDG.ComputeSummaries(ps.MainUnit().Sub.cancelf)
+		ps.sm.summaryEdges.Add(int64(edges))
+		ps.sm.summaryRounds.Add(int64(rounds))
+		ps.summaryErr = err
+	})
+	return ps.summaryErr
+}
+
+// InterSlice is the result of an interprocedural slice: the global
+// vertex sets of the two HRB passes plus, per unit, an ordinary Slice
+// over the unit's flowgraph (the local projection, with the jumps the
+// per-procedure repair admitted and the unit's relabeled gotos).
+type InterSlice struct {
+	Set       *ProgramSet
+	Criterion Criterion
+	Algorithm string
+	// CriterionProc is the index of the unit owning the criterion
+	// line.
+	CriterionProc int
+	// V1 and V2 are the SDG vertex sets after pass one (ascend only)
+	// and pass two (descend only, seeded from V1); V2 is the slice.
+	V1, V2 *bits.Set
+	// PerProc holds one Slice per unit, indexed like Units.
+	PerProc []*Slice
+	// JumpsAdded is the total number of jumps the per-procedure
+	// repair admitted across all units; Traversals the total Figure 7
+	// traversal count; Rounds the number of outer repair rounds over
+	// all units (counting the final unproductive one).
+	JumpsAdded int
+	Traversals int
+	Rounds     int
+}
+
+// SliceInterproc computes the HRB two-pass backward slice for the
+// criterion, then repairs jump statements per procedure with the
+// paper's Figure 7 rule, iterating to a global fixpoint (a jump
+// admitted in one procedure grows the slice across call boundaries,
+// which can expose repair work in another).
+func (ps *ProgramSet) SliceInterproc(c Criterion) (*InterSlice, error) {
+	if err := ps.EnsureSummaries(); err != nil {
+		return nil, err
+	}
+	u := ps.UnitAtLine(c.Line)
+	if u == nil {
+		return nil, fmt.Errorf("core: no statement at line %d", c.Line)
+	}
+	seeds, err := u.Sub.resolveCriterion(c)
+	if err != nil {
+		return nil, err
+	}
+	g := ps.SDG
+	cancel := u.Sub.cancelf
+	vseeds := make([]int, 0, len(seeds)+1)
+	for _, id := range seeds {
+		vseeds = append(vseeds, g.StmtVert(u.Index, id))
+		// A criterion resolving to a call node means the variable is
+		// defined by the call's copy-out or used by its arguments;
+		// seed the parameter vertices carrying it, or the closure
+		// would stop at the call statement without entering the
+		// callee.
+		if u.Sub.CFG.Nodes[id].Kind == cfg.KindCall {
+			if aov, ok := g.ActualOutVertByVar(u.Index, id, c.Var); ok {
+				vseeds = append(vseeds, aov)
+			}
+			vseeds = append(vseeds, g.ActualInVertsMentioning(u.Index, id, c.Var)...)
+		}
+	}
+	// The dummy entry is in every slice by construction (covers
+	// criteria in dead code), as in conventionalWith.
+	vseeds = append(vseeds, g.EntryVert(u.Index))
+
+	v1, err := g.Closure(vseeds, sdg.PassOne, cancel)
+	if err != nil {
+		return nil, err
+	}
+	v2, err := g.Closure(v1.Members(), sdg.PassTwo, cancel)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &InterSlice{
+		Set:           ps,
+		Criterion:     c,
+		Algorithm:     "sdg",
+		CriterionProc: u.Index,
+		V1:            v1,
+		V2:            v2,
+		PerProc:       make([]*Slice, len(ps.Units)),
+	}
+
+	// Per-procedure jump repair to a global fixpoint. Growing the
+	// slice while repairing unit A can add vertices in unit B (the
+	// closure of an admitted jump crosses call boundaries), so units
+	// are re-repaired until a full round admits nothing.
+	jumpsByUnit := make([][]int, len(ps.Units))
+	rulesByUnit := make([][]JumpRule, len(ps.Units))
+	totalNodes := 0
+	for _, un := range ps.Units {
+		totalNodes += un.Sub.CFG.NumNodes()
+	}
+	for {
+		s.Rounds++
+		changed := false
+		for _, un := range ps.Units {
+			// A unit the slice does not touch cannot admit a jump:
+			// with an empty local projection every jump's nearest
+			// postdominator and lexical successor in the slice are
+			// both Exit, so the Figure 7 sweep is a no-op. Skipping
+			// it keeps repair cost proportional to the slice, not the
+			// program set.
+			if !procTouched(ps.SDG, s.V2, un.Index) {
+				continue
+			}
+			local := s.localSet(un)
+			jumps, rules, trav, err := un.Sub.repairJumps(local, un.Sub.jumpsPDT, funcEngine{s: s, u: un})
+			s.Traversals += trav
+			if err != nil {
+				return nil, fmt.Errorf("core: sdg repair in %s: %w", unitLabel(un), err)
+			}
+			if len(jumps) > 0 {
+				jumpsByUnit[un.Index] = append(jumpsByUnit[un.Index], jumps...)
+				rulesByUnit[un.Index] = append(rulesByUnit[un.Index], rules...)
+				s.JumpsAdded += len(jumps)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if s.Rounds > totalNodes+1 {
+			// Each productive round admits at least one jump, and
+			// admissions are bounded by the global jump count; this
+			// guard only trips on an implementation bug.
+			return nil, fmt.Errorf("core: sdg jump repair failed to converge after %d rounds", s.Rounds)
+		}
+	}
+
+	for _, un := range ps.Units {
+		local := bits.New(un.Sub.CFG.NumNodes())
+		if procTouched(ps.SDG, s.V2, un.Index) {
+			local = s.localSet(un)
+		}
+		s.PerProc[un.Index] = &Slice{
+			Analysis:   un.Sub,
+			Criterion:  c,
+			Algorithm:  "sdg",
+			Nodes:      local,
+			JumpsAdded: jumpsByUnit[un.Index],
+			JumpRules:  rulesByUnit[un.Index],
+			Relabeled:  un.Sub.retargetLabels(local),
+		}
+	}
+	ps.sm.slices.Add(1)
+	ps.sm.jumpsAdmitted.Add(int64(s.JumpsAdded))
+	if ps.tr != nil {
+		ps.tr.SliceDone("sdg", v2.Len())
+	}
+	return s, nil
+}
+
+func unitLabel(u *ProcUnit) string {
+	if u.Name == "" {
+		return "main"
+	}
+	return "proc " + u.Name
+}
+
+// localSet projects the global vertex set onto a unit's flowgraph:
+// the local node IDs whose statement vertex is in the slice.
+func (s *InterSlice) localSet(u *ProcUnit) *bits.Set {
+	g := s.Set.SDG
+	set := bits.New(u.Sub.CFG.NumNodes())
+	for _, n := range u.Sub.CFG.Nodes {
+		if s.V2.Has(g.StmtVert(u.Index, n.ID)) {
+			set.Add(n.ID)
+		}
+	}
+	return set
+}
+
+// procTouched reports whether any of the unit's vertices (statement,
+// formal, or actual) is in the given set.
+func procTouched(g *sdg.Graph, set *bits.Set, pi int) bool {
+	lo, hi := g.ProcVertRange(pi)
+	next := set.NextSet(lo)
+	return next >= 0 && next < hi
+}
+
+// funcEngine is the depEngine the per-procedure Figure 7 repair runs
+// against: closures are global SDG closures (so an admitted jump's
+// dependences cross call boundaries exactly like criterion
+// dependences do), projected back onto the unit's flowgraph.
+//
+// The HRB pass discipline is preserved: a jump admitted in a
+// procedure the first pass touched joins the first-pass set and its
+// closure may ascend to callers (then cascades down via pass two); a
+// jump admitted in a procedure only reached by descent joins the
+// second pass and never re-ascends.
+//
+// Closures over the SDG carry the invariant edges, so they are
+// normalized by construction.
+type funcEngine struct {
+	s *InterSlice
+	u *ProcUnit
+}
+
+func (e funcEngine) closuresNormalized() bool { return true }
+
+func (e funcEngine) backwardClosure(seeds []int) (*bits.Set, error) {
+	set := bits.New(e.u.Sub.CFG.NumNodes())
+	for _, v := range seeds {
+		if _, err := e.grow(set, v); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+func (e funcEngine) grow(set *bits.Set, seed int) (bool, error) {
+	s, g := e.s, e.s.Set.SDG
+	cancel := e.u.Sub.cancelf
+	gv := g.StmtVert(e.u.Index, seed)
+	if procTouched(g, s.V1, e.u.Index) {
+		// First-pass territory: grow V1, then cascade the new
+		// first-pass vertices down through pass two.
+		before := s.V1.Clone()
+		if _, err := g.GrowInto(s.V1, []int{gv}, sdg.PassOne, cancel); err != nil {
+			return false, err
+		}
+		delta := s.V1.Clone()
+		delta.DifferenceWith(before)
+		// Vertices already in V2 are pass-two-closed there, so
+		// GrowInto skipping them as seeds is exact.
+		if _, err := g.GrowInto(s.V2, delta.Members(), sdg.PassTwo, cancel); err != nil {
+			return false, err
+		}
+	} else {
+		if _, err := g.GrowInto(s.V2, []int{gv}, sdg.PassTwo, cancel); err != nil {
+			return false, err
+		}
+	}
+	// Project the grown global slice back onto this unit's node set
+	// (the set repairJumps is iterating).
+	grew := false
+	for _, n := range e.u.Sub.CFG.Nodes {
+		if !set.Has(n.ID) && s.V2.Has(g.StmtVert(e.u.Index, n.ID)) {
+			set.Add(n.ID)
+			grew = true
+		}
+	}
+	return grew, nil
+}
+
+// Lines returns the sorted union of the per-unit slice lines — the
+// paper-figure representation of the interprocedural slice.
+func (s *InterSlice) Lines() []int {
+	seen := map[int]bool{}
+	for _, sl := range s.PerProc {
+		for _, l := range sl.Lines() {
+			seen[l] = true
+		}
+	}
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+// keptUnits decides which procedure declarations the materialized
+// slice must carry: every unit with surviving statements, plus —
+// transitively — every procedure still called from a surviving call
+// statement (a callee sliced down to nothing must still be declared
+// for the surviving call to resolve).
+func (s *InterSlice) keptUnits() []bool {
+	keep := make([]bool, len(s.Set.Units))
+	for i, sl := range s.PerProc {
+		keep[i] = len(sl.StatementNodes()) > 0
+	}
+	keep[len(keep)-1] = true // main is the program body, always emitted
+	for changed := true; changed; {
+		changed = false
+		for i, u := range s.Set.Units {
+			if !keep[i] {
+				continue
+			}
+			for _, n := range u.Sub.CFG.Nodes {
+				if n.Kind != cfg.KindCall || !s.PerProc[i].Nodes.Has(n.ID) {
+					continue
+				}
+				if qi, ok := s.Set.SDG.CalleeOf(i, n.ID); ok && !keep[qi] {
+					keep[qi] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return keep
+}
+
+// Materialize projects the slice back onto the program text: each
+// kept procedure is materialized from its local projection with the
+// intraprocedural machinery (including per-procedure label
+// retargeting), and reassembled around the materialized main body.
+func (s *InterSlice) Materialize() *lang.Program {
+	keep := s.keptUnits()
+	out := &lang.Program{}
+	for i, u := range s.Set.Units {
+		if u.Decl == nil || !keep[i] {
+			continue
+		}
+		sub := s.PerProc[i].Materialize()
+		out.Procs = append(out.Procs, &lang.ProcDecl{
+			P:      u.Decl.P,
+			Name:   u.Decl.Name,
+			Params: u.Decl.Params,
+			Body:   sub.Body,
+			Labels: sub.Labels,
+		})
+	}
+	mainSub := s.PerProc[len(s.PerProc)-1].Materialize()
+	out.Body = mainSub.Body
+	out.Labels = mainSub.Labels
+	return out
+}
+
+// Format pretty-prints the materialized slice with original line
+// numbers, procedures first, matching the paper's figure style.
+func (s *InterSlice) Format() string {
+	return lang.Format(s.Materialize(), lang.PrintOptions{LineNumbers: true})
+}
+
+// EdgeReasons maps each slice line to the interprocedural evidence
+// that pulled it in: for every slice vertex depending on a vertex at
+// that line through a call, param-in, param-out, or summary edge, a
+// reason string naming the edge kind and the depending vertex.
+// Intraprocedural kinds (control, data, invariant) are omitted — the
+// per-procedure explain machinery covers those.
+func (s *InterSlice) EdgeReasons() map[int][]string {
+	g := s.Set.SDG
+	seen := map[int]map[string]bool{}
+	for v := s.V2.NextSet(0); v >= 0; v = s.V2.NextSet(v + 1) {
+		for _, d := range g.Deps(v) {
+			switch d.Kind {
+			case sdg.EdgeCall, sdg.EdgeParamIn, sdg.EdgeParamOut, sdg.EdgeSummary:
+			default:
+				continue
+			}
+			if !s.V2.Has(d.To) {
+				continue
+			}
+			line := g.VertLine(d.To)
+			if line <= 0 {
+				continue
+			}
+			reason := fmt.Sprintf("%s edge from %s", d.Kind, g.VertString(v))
+			if seen[line] == nil {
+				seen[line] = map[string]bool{}
+			}
+			seen[line][reason] = true
+		}
+	}
+	out := make(map[int][]string, len(seen))
+	for line, rs := range seen {
+		list := make([]string, 0, len(rs))
+		for r := range rs {
+			list = append(list, r)
+		}
+		sort.Strings(list)
+		out[line] = list
+	}
+	return out
+}

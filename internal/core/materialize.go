@@ -140,7 +140,7 @@ func (m *materializer) rebuild(st lang.Stmt) lang.Stmt {
 		}
 		return &lang.LabeledStmt{P: st.P, Label: st.Label, Stmt: inner}
 	case *lang.AssignStmt, *lang.ReadStmt, *lang.WriteStmt, *lang.GotoStmt,
-		*lang.BreakStmt, *lang.ContinueStmt, *lang.ReturnStmt, *lang.EmptyStmt:
+		*lang.BreakStmt, *lang.ContinueStmt, *lang.ReturnStmt, *lang.CallStmt, *lang.EmptyStmt:
 		if !m.inSlice(st) {
 			return nil
 		}

@@ -143,6 +143,14 @@ func defsOf(n *cfg.Node) []string {
 		return []string{lang.Def(n.Stmt)}
 	case cfg.KindRead:
 		return []string{lang.Def(n.Stmt), InputVar}
+	case cfg.KindCall:
+		// Value-result copy-out: a call kills and redefines every plain
+		// identifier argument. This is what makes the SDG slice agree
+		// with the slice of the inlined program — the copy-outs are real
+		// definitions with real kills.
+		if c, ok := lang.Unlabel(n.Stmt).(*lang.CallStmt); ok {
+			return lang.CallOutVars(c)
+		}
 	}
 	return nil
 }
@@ -181,6 +189,15 @@ func callsEOF(s lang.Stmt) bool {
 		e = s.Tag
 	case *lang.ReturnStmt:
 		e = s.Value
+	case *lang.CallStmt:
+		for _, a := range s.Args {
+			for _, name := range lang.ExprCalls(nil, a) {
+				if name == "eof" {
+					return true
+				}
+			}
+		}
+		return false
 	default:
 		return false
 	}

@@ -96,6 +96,7 @@ type Report struct {
 	E4       []TraversalRow `json:"traversals,omitempty"`
 	E6       []DynamicRow   `json:"dynamic,omitempty"`
 	E7       []IncrRow      `json:"incremental,omitempty"`
+	E8       []SDGRow       `json:"sdg,omitempty"`
 	// Metrics is the recorder snapshot taken after the run, when the
 	// caller attached an Options.Recorder: phase timings, traversal
 	// and jump counters, closure cache statistics.
@@ -193,6 +194,22 @@ type IncrRow struct {
 	MeanRatio  float64 `json:"mean_incr_cold_ratio"`
 	MeanIncrNs float64 `json:"mean_incr_ns"`
 	MeanColdNs float64 `json:"mean_cold_ns"`
+}
+
+// SDGRow is one E8 table row: two-pass interprocedural slicing over
+// the multi-procedure corpus at one procedure count. Cold is the
+// first slice of a program set (it pays for the summary-edge
+// worklist); warm slices reuse the cached summaries.
+type SDGRow struct {
+	Procs       int     `json:"procs"`
+	Sets        int     `json:"sets"`
+	Cases       int     `json:"cases"`
+	MeanLines   float64 `json:"mean_lines"`
+	MeanJumps   float64 `json:"mean_jumps_added"`
+	MeanSummary float64 `json:"mean_summary_edges"`
+	MeanRounds  float64 `json:"mean_summary_rounds"`
+	MeanColdNs  float64 `json:"mean_cold_ns"`
+	MeanWarmNs  float64 `json:"mean_warm_ns"`
 }
 
 // TimingRow is one E3 table row: mean wall-clock per slice for an
@@ -681,6 +698,96 @@ func Timing(o Options) ([]TimingRow, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// SDGProcCounts are the procedure counts of the E8 sweep.
+var SDGProcCounts = []int{2, 4, 8}
+
+// SDG computes E8: two-pass HRB slicing over the multi-procedure
+// corpus, sweeping the procedure count. Each program set is sliced on
+// its main write criteria; the first slice is the cold measurement
+// (it runs the summary-edge worklist), later criteria reuse the
+// cached summaries and measure the warm path.
+func SDG(o Options) ([]SDGRow, error) {
+	ctx := o.ctx()
+	var rows []SDGRow
+	for _, np := range SDGProcCounts {
+		np := np
+		type totals struct {
+			sets, cases, colds, warms     int
+			lines, jumps, summary, rounds float64
+			coldNs, warmNs                float64
+		}
+		parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) (totals, error) {
+			p := progen.MultiProc(progen.Config{Seed: seed, Stmts: o.Stmts, Procs: np})
+			ps, err := core.AnalyzeProgramSetObservedContext(ctx, p, o.Recorder, o.Tracer)
+			if err != nil {
+				return totals{}, fmt.Errorf("seed %d: %w", seed, err)
+			}
+			crits := progen.MainWriteCriteria(p)
+			var t totals
+			for i, wc := range crits {
+				c := core.Criterion{Var: wc.Var, Line: wc.Line}
+				start := time.Now()
+				s, err := ps.SliceInterproc(c)
+				d := time.Since(start)
+				if err != nil {
+					return totals{}, fmt.Errorf("seed %d %v: %w", seed, c, err)
+				}
+				if i == 0 {
+					t.coldNs += float64(d)
+					t.colds++
+				} else {
+					t.warmNs += float64(d)
+					t.warms++
+				}
+				t.lines += float64(len(s.Lines()))
+				t.jumps += float64(s.JumpsAdded)
+				t.cases++
+			}
+			st := ps.SDG.Stats()
+			t.summary = float64(st.SummaryEdges)
+			t.rounds = float64(st.SummaryRounds)
+			t.sets = 1
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var t totals
+		for _, p := range parts {
+			t.sets += p.sets
+			t.cases += p.cases
+			t.colds += p.colds
+			t.warms += p.warms
+			t.lines += p.lines
+			t.jumps += p.jumps
+			t.summary += p.summary
+			t.rounds += p.rounds
+			t.coldNs += p.coldNs
+			t.warmNs += p.warmNs
+		}
+		if t.cases == 0 {
+			continue
+		}
+		row := SDGRow{
+			Procs:       np,
+			Sets:        t.sets,
+			Cases:       t.cases,
+			MeanLines:   t.lines / float64(t.cases),
+			MeanJumps:   t.jumps / float64(t.cases),
+			MeanSummary: t.summary / float64(t.sets),
+			MeanRounds:  t.rounds / float64(t.sets),
+		}
+		if t.colds > 0 {
+			row.MeanColdNs = t.coldNs / float64(t.colds)
+		}
+		if t.warms > 0 {
+			row.MeanWarmNs = t.warmNs / float64(t.warms)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -168,6 +168,20 @@ type ReturnStmt struct {
 	Value Expr // may be nil
 }
 
+// CallStmt is "call p(a1, a2);" — a procedure call with value-result
+// parameter passing: argument expressions are copied into the callee's
+// formals on entry, and on return the final formal values are copied
+// back into the arguments that are plain variables. Arguments that are
+// not plain identifiers (literals, compound expressions) are inputs
+// only. When the same variable appears as more than one argument, the
+// copy-out of the last occurrence wins, matching left-to-right
+// copy-back order.
+type CallStmt struct {
+	P    Pos
+	Name string
+	Args []Expr
+}
+
 // LabeledStmt is "label: stmt". Labels are program-unique and are
 // goto targets.
 type LabeledStmt struct {
@@ -195,6 +209,7 @@ func (s *GotoStmt) Pos() Pos     { return s.P }
 func (s *BreakStmt) Pos() Pos    { return s.P }
 func (s *ContinueStmt) Pos() Pos { return s.P }
 func (s *ReturnStmt) Pos() Pos   { return s.P }
+func (s *CallStmt) Pos() Pos     { return s.P }
 func (s *LabeledStmt) Pos() Pos  { return s.P }
 func (s *EmptyStmt) Pos() Pos    { return s.P }
 
@@ -209,6 +224,7 @@ func (*GotoStmt) stmtNode()     {}
 func (*BreakStmt) stmtNode()    {}
 func (*ContinueStmt) stmtNode() {}
 func (*ReturnStmt) stmtNode()   {}
+func (*CallStmt) stmtNode()     {}
 func (*LabeledStmt) stmtNode()  {}
 func (*EmptyStmt) stmtNode()    {}
 
@@ -222,14 +238,54 @@ func IsJump(s Stmt) bool {
 	return false
 }
 
-// Program is a parsed program: a top-level statement sequence plus the
-// label index built during parsing.
+// ProcDecl is a procedure declaration:
+//
+//	proc name(a, b) { body }
+//
+// Parameters are integer variables passed value-result. Procedure
+// bodies use the statement language unchanged — including every jump
+// statement; a plain "return;" jumps to the procedure's exit — except
+// that read statements and eof() calls are main-only (the input stream
+// is global state a callee must not consume invisibly). A ProcDecl is
+// a top-level declaration, not a statement: procedures do not nest.
+type ProcDecl struct {
+	P      Pos
+	Name   string
+	Params []string
+	Body   []Stmt
+	// Labels indexes the labels of this procedure's body. Label names
+	// are scoped per procedure: a goto may only target a label in the
+	// same procedure, and the same name may appear in different
+	// procedures.
+	Labels map[string]*LabeledStmt
+}
+
+// Pos returns the position of the proc keyword.
+func (d *ProcDecl) Pos() Pos { return d.P }
+
+// Program is a parsed program: a top-level statement sequence (the
+// implicit main procedure) plus the label index built during parsing.
+// Programs with procedure declarations also carry Procs; a program
+// without them is exactly the single-procedure language of the paper.
 type Program struct {
 	Body []Stmt
-	// Labels maps each label name to the labeled statement carrying
-	// it. Parsing guarantees labels are unique and every goto target
-	// exists.
+	// Labels maps each label name of the main body to the labeled
+	// statement carrying it. Parsing guarantees labels are unique
+	// within their procedure and every goto target exists.
 	Labels map[string]*LabeledStmt
+	// Procs holds the procedure declarations in source order; nil for
+	// single-procedure programs.
+	Procs []*ProcDecl
+}
+
+// Proc returns the declaration of the named procedure, or nil.
+func (p *Program) Proc(name string) *ProcDecl {
+	for _, d := range p.Procs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -312,10 +368,65 @@ func Uses(s Stmt) []string {
 		return ExprVarSet(s.Tag)
 	case *ReturnStmt:
 		return ExprVarSet(s.Value)
+	case *CallStmt:
+		var names []string
+		for _, a := range s.Args {
+			names = ExprVars(names, a)
+		}
+		return sortedSet(names)
 	case *LabeledStmt:
 		return Uses(s.Stmt)
 	}
 	return nil
+}
+
+// sortedSet sorts and de-duplicates names in place.
+func sortedSet(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	out := names[:1]
+	for _, n := range names[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CallCopyOuts returns the indices of c's arguments that receive a
+// copy-out under value-result passing: plain identifier arguments,
+// keeping only the last occurrence of each variable (the copy-backs
+// run left to right, so the last write wins).
+func CallCopyOuts(c *CallStmt) []int {
+	last := map[string]int{}
+	for i, a := range c.Args {
+		if id, ok := a.(*Ident); ok {
+			last[id.Name] = i
+		}
+	}
+	if len(last) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(last))
+	for _, i := range last {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CallOutVars returns the sorted set of variables a call statement
+// defines: its plain-identifier arguments (value-result copy-out).
+func CallOutVars(c *CallStmt) []string {
+	var names []string
+	for _, a := range c.Args {
+		if id, ok := a.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+	}
+	return sortedSet(names)
 }
 
 // Def returns the variable a statement defines directly, or "" if it
@@ -373,8 +484,14 @@ func Walk(s Stmt, fn func(Stmt)) {
 	}
 }
 
-// WalkProgram calls fn for every statement of p in lexical order.
+// WalkProgram calls fn for every statement of p in lexical order:
+// procedure bodies in declaration order, then the main body.
 func WalkProgram(p *Program, fn func(Stmt)) {
+	for _, d := range p.Procs {
+		for _, s := range d.Body {
+			Walk(s, fn)
+		}
+	}
 	for _, s := range p.Body {
 		Walk(s, fn)
 	}
@@ -459,6 +576,10 @@ func IntrinsicNames(p *Program) []string {
 			collect(s.Tag)
 		case *ReturnStmt:
 			collect(s.Value)
+		case *CallStmt:
+			for _, a := range s.Args {
+				collect(a)
+			}
 		}
 	})
 	names := make([]string, 0, len(seen))

@@ -10,6 +10,10 @@ type Parser struct {
 	err   *SyntaxError
 	prog  *Program
 	depth int // current nesting depth, bounded by maxNestingDepth
+	// labels is the label index of the scope being parsed: the main
+	// body's map normally, swapped for the procedure's own map inside
+	// a proc body (labels are scoped per procedure).
+	labels map[string]*LabeledStmt
 }
 
 // maxNestingDepth bounds statement and expression nesting. The parser
@@ -42,7 +46,12 @@ func (p *Parser) leave() { p.depth-- }
 // case value, multiple defaults).
 func Parse(src string) (*Program, error) {
 	p := &Parser{lx: NewLexer(src), prog: &Program{Labels: map[string]*LabeledStmt{}}}
+	p.labels = p.prog.Labels
 	for p.peek().Kind != EOF && p.err == nil {
+		if p.peek().Kind == KwProc {
+			p.prog.Procs = append(p.prog.Procs, p.parseProc())
+			continue
+		}
 		p.prog.Body = append(p.prog.Body, p.parseStmt())
 	}
 	if p.err == nil {
@@ -163,6 +172,27 @@ func (p *Parser) parseStmt() Stmt {
 		p.expect(RParen)
 		p.expect(Semi)
 		return &WriteStmt{P: t.Pos, Value: val}
+	case KwCall:
+		p.next()
+		name := p.expect(IDENT)
+		c := &CallStmt{P: t.Pos, Name: name.Text}
+		p.expect(LParen)
+		if p.peek().Kind != RParen {
+			for {
+				c.Args = append(c.Args, p.parseExpr())
+				if p.peek().Kind != Comma {
+					break
+				}
+				p.next()
+			}
+		}
+		p.expect(RParen)
+		p.expect(Semi)
+		return c
+	case KwProc:
+		p.errorf(t.Pos, "procedure declarations are only allowed at the top level")
+		p.next()
+		return &EmptyStmt{P: t.Pos}
 	case Semi:
 		p.next()
 		return &EmptyStmt{P: t.Pos}
@@ -178,12 +208,48 @@ func (p *Parser) parseLabeled() Stmt {
 	p.expect(Colon)
 	inner := p.parseStmt()
 	l := &LabeledStmt{P: name.Pos, Label: name.Text, Stmt: inner}
-	if _, dup := p.prog.Labels[name.Text]; dup {
+	if _, dup := p.labels[name.Text]; dup {
 		p.errorf(name.Pos, "duplicate label %q", name.Text)
 	} else {
-		p.prog.Labels[name.Text] = l
+		p.labels[name.Text] = l
 	}
 	return l
+}
+
+// parseProc parses one top-level procedure declaration:
+//
+//	proc name(a, b) { body }
+//
+// The body parses in its own label scope; nested proc declarations
+// are rejected by parseStmt (KwProc is not a statement keyword).
+func (p *Parser) parseProc() *ProcDecl {
+	t := p.expect(KwProc)
+	name := p.expect(IDENT)
+	d := &ProcDecl{P: t.Pos, Name: name.Text, Labels: map[string]*LabeledStmt{}}
+	p.expect(LParen)
+	if p.peek().Kind != RParen {
+		for {
+			d.Params = append(d.Params, p.expect(IDENT).Text)
+			if p.peek().Kind != Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(RParen)
+	p.expect(LBrace)
+	outer := p.labels
+	p.labels = d.Labels
+	for p.err == nil && p.peek().Kind != RBrace {
+		if p.peek().Kind == EOF {
+			p.errorf(t.Pos, "unterminated procedure body (missing '}')")
+			break
+		}
+		d.Body = append(d.Body, p.parseStmt())
+	}
+	p.labels = outer
+	p.expect(RBrace)
+	return d
 }
 
 func (p *Parser) parseAssign() Stmt {
@@ -423,8 +489,12 @@ func (p *Parser) parsePrimary() Expr {
 // ---------------------------------------------------------------------
 // Post-parse validation.
 
-// validate checks context-sensitive rules: goto targets exist,
-// break/continue are properly enclosed, switch cases are well-formed.
+// validate checks context-sensitive rules: goto targets exist in the
+// same procedure scope, break/continue are properly enclosed, switch
+// cases are well-formed, procedure names and parameters are unique,
+// every call names a declared procedure with matching arity, and
+// procedure bodies neither read input (read statements, eof() calls —
+// the input stream is main-only global state) nor return a value.
 func (p *Parser) validate() error {
 	var err error
 	report := func(pos Pos, format string, args ...any) {
@@ -433,12 +503,19 @@ func (p *Parser) validate() error {
 		}
 	}
 
-	var check func(s Stmt, inLoop, inSwitch bool)
-	check = func(s Stmt, inLoop, inSwitch bool) {
+	var check func(labels map[string]*LabeledStmt, s Stmt, inLoop, inSwitch, inProc bool)
+	check = func(labels map[string]*LabeledStmt, s Stmt, inLoop, inSwitch, inProc bool) {
+		if inProc {
+			for _, fn := range stmtIntrinsics(s) {
+				if fn == "eof" {
+					report(s.Pos(), "eof() is not allowed in a procedure body (input is read by main)")
+				}
+			}
+		}
 		switch s := s.(type) {
 		case nil:
 		case *GotoStmt:
-			if _, ok := p.prog.Labels[s.Label]; !ok {
+			if _, ok := labels[s.Label]; !ok {
 				report(s.P, "goto to undefined label %q", s.Label)
 			}
 		case *BreakStmt:
@@ -449,11 +526,19 @@ func (p *Parser) validate() error {
 			if !inLoop {
 				report(s.P, "continue outside loop")
 			}
+		case *ReadStmt:
+			if inProc {
+				report(s.P, "read is not allowed in a procedure body (input is read by main)")
+			}
+		case *ReturnStmt:
+			if inProc && s.Value != nil {
+				report(s.P, "return with a value is not allowed in a procedure body")
+			}
 		case *IfStmt:
-			check(s.Then, inLoop, inSwitch)
-			check(s.Else, inLoop, inSwitch)
+			check(labels, s.Then, inLoop, inSwitch, inProc)
+			check(labels, s.Else, inLoop, inSwitch, inProc)
 		case *WhileStmt:
-			check(s.Body, true, false)
+			check(labels, s.Body, true, false, inProc)
 		case *SwitchStmt:
 			seen := map[int64]bool{}
 			defaults := 0
@@ -471,19 +556,80 @@ func (p *Parser) validate() error {
 					seen[v] = true
 				}
 				for _, st := range c.Body {
-					check(st, inLoop, true)
+					check(labels, st, inLoop, true, inProc)
 				}
 			}
 		case *BlockStmt:
 			for _, st := range s.List {
-				check(st, inLoop, inSwitch)
+				check(labels, st, inLoop, inSwitch, inProc)
 			}
 		case *LabeledStmt:
-			check(s.Stmt, inLoop, inSwitch)
+			check(labels, s.Stmt, inLoop, inSwitch, inProc)
+		}
+	}
+
+	procs := map[string]*ProcDecl{}
+	for _, d := range p.prog.Procs {
+		if d.Name == "main" {
+			report(d.P, "procedure cannot be named %q (the top-level body is main)", d.Name)
+		}
+		if _, dup := procs[d.Name]; dup {
+			report(d.P, "duplicate procedure %q", d.Name)
+		}
+		procs[d.Name] = d
+		seen := map[string]bool{}
+		for _, prm := range d.Params {
+			if seen[prm] {
+				report(d.P, "duplicate parameter %q in procedure %q", prm, d.Name)
+			}
+			seen[prm] = true
+		}
+		for _, s := range d.Body {
+			check(d.Labels, s, false, false, true)
 		}
 	}
 	for _, s := range p.prog.Body {
-		check(s, false, false)
+		check(p.prog.Labels, s, false, false, false)
 	}
+	WalkProgram(p.prog, func(s Stmt) {
+		c, ok := s.(*CallStmt)
+		if !ok {
+			return
+		}
+		d, declared := procs[c.Name]
+		if !declared {
+			report(c.P, "call to undefined procedure %q", c.Name)
+			return
+		}
+		if len(c.Args) != len(d.Params) {
+			report(c.P, "call to %q has %d arguments, want %d", c.Name, len(c.Args), len(d.Params))
+		}
+	})
 	return err
+}
+
+// stmtIntrinsics returns the intrinsic functions called directly by
+// one statement's expressions (not through nested statements).
+func stmtIntrinsics(s Stmt) []string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return ExprCalls(nil, s.Value)
+	case *WriteStmt:
+		return ExprCalls(nil, s.Value)
+	case *IfStmt:
+		return ExprCalls(nil, s.Cond)
+	case *WhileStmt:
+		return ExprCalls(nil, s.Cond)
+	case *SwitchStmt:
+		return ExprCalls(nil, s.Tag)
+	case *ReturnStmt:
+		return ExprCalls(nil, s.Value)
+	case *CallStmt:
+		var out []string
+		for _, a := range s.Args {
+			out = ExprCalls(out, a)
+		}
+		return out
+	}
+	return nil
 }

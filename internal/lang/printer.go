@@ -22,16 +22,34 @@ type printer struct {
 	depth int
 }
 
-// Format pretty-prints a whole program.
+// Format pretty-prints a whole program: procedure declarations first
+// (in declaration order), then the main body. Procs-first is the
+// canonical layout — re-parsing the output yields the same canonical
+// form again even when the input interleaved declarations and
+// statements.
 func Format(p *Program, opts PrintOptions) string {
 	pr := &printer{opts: opts}
 	if pr.opts.Indent == "" {
 		pr.opts.Indent = "    "
 	}
+	for _, d := range p.Procs {
+		pr.proc(d)
+	}
 	for _, s := range p.Body {
 		pr.stmt(s)
 	}
 	return pr.sb.String()
+}
+
+// proc prints one procedure declaration with its body indented.
+func (pr *printer) proc(d *ProcDecl) {
+	pr.line(d.P, "proc %s(%s) {", d.Name, strings.Join(d.Params, ", "))
+	pr.depth++
+	for _, s := range d.Body {
+		pr.stmt(s)
+	}
+	pr.depth--
+	pr.line(Pos{}, "}")
 }
 
 // FormatStmt pretty-prints a single statement subtree.
@@ -78,6 +96,8 @@ func (pr *printer) stmt(s Stmt) {
 		} else {
 			pr.line(s.P, "return;")
 		}
+	case *CallStmt:
+		pr.line(s.P, "%s", simpleStmtString(s))
 	case *EmptyStmt:
 		pr.line(s.P, ";")
 	case *LabeledStmt:
@@ -87,7 +107,7 @@ func (pr *printer) stmt(s Stmt) {
 		// only when the inner statement is compound.
 		switch inner := Unlabel(s).(type) {
 		case *AssignStmt, *ReadStmt, *WriteStmt, *GotoStmt, *BreakStmt,
-			*ContinueStmt, *ReturnStmt, *EmptyStmt:
+			*ContinueStmt, *ReturnStmt, *CallStmt, *EmptyStmt:
 			pr.line(s.P, "%s%s", labelPrefix(s), simpleStmtString(inner))
 		case *IfStmt:
 			// Inline a labeled conditional jump:
@@ -216,6 +236,12 @@ func simpleStmtString(s Stmt) string {
 			return fmt.Sprintf("return %s;", ExprString(s.Value))
 		}
 		return "return;"
+	case *CallStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("call %s(%s);", s.Name, strings.Join(args, ", "))
 	case *EmptyStmt:
 		return ";"
 	}

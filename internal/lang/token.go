@@ -38,6 +38,8 @@ const (
 	KwReturn
 	KwRead
 	KwWrite
+	KwProc
+	KwCall
 
 	// Punctuation and operators.
 	LParen  // (
@@ -80,6 +82,8 @@ var tokenNames = map[TokenKind]string{
 	KwReturn:   "'return'",
 	KwRead:     "'read'",
 	KwWrite:    "'write'",
+	KwProc:     "'proc'",
+	KwCall:     "'call'",
 	LParen:     "'('",
 	RParen:     "')'",
 	LBrace:     "'{'",
@@ -126,6 +130,8 @@ var keywords = map[string]TokenKind{
 	"return":   KwReturn,
 	"read":     KwRead,
 	"write":    KwWrite,
+	"proc":     KwProc,
+	"call":     KwCall,
 }
 
 // Pos is a source position. Lines and columns are 1-based; the line

@@ -1,0 +1,392 @@
+// Multi-procedure program-set generation and the inlining transform
+// the SDG property tests compare against.
+//
+// MultiProc emits program sets of a deliberately restricted shape —
+// straight-line main, each procedure called exactly once with
+// distinct plain-identifier arguments — because that is exactly the
+// shape where value-result parameter passing is equivalent to textual
+// inlining: copying sum into s, running the body, and copying s back
+// into sum is the same as running the body with s renamed to sum.
+// InlineMain performs that renaming and returns the statement line
+// map, so a test can check that the two-pass SDG slice of the
+// program set coincides, line for line, with the intraprocedural
+// Agrawal slice of the inlined program.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"jumpslice/internal/lang"
+)
+
+// MultiProc generates a terminating multi-procedure program set:
+// Config.Procs procedure declarations (each body budgeted at
+// Config.Stmts statements, with the structured generator's loops,
+// switches and guarded jumps) and a straight-line main that
+// initializes Config.Vars variables, calls every procedure exactly
+// once with distinct plain-identifier arguments, and ends with one
+// write per variable — the natural slicing criteria. Procedure-local
+// names (parameters p<i>_<j>, scratch locals t<i>, loop fuels, goto
+// labels) are unique program-wide, so InlineMain only has to rename
+// parameters.
+func MultiProc(c Config) *lang.Program {
+	c = c.normalized()
+	g := &generator{cfg: c, rng: rand.New(rand.NewSource(c.Seed))}
+
+	procs := make([]*lang.ProcDecl, c.Procs)
+	for i := range procs {
+		k := 2
+		if c.Vars > 2 && g.rng.Intn(2) == 0 {
+			k = 3
+		}
+		params := make([]string, k)
+		for j := range params {
+			params[j] = fmt.Sprintf("p%d_%d", i, j)
+		}
+		local := fmt.Sprintf("t%d", i)
+		g.names = append(append([]string{}, params...), local)
+		g.inProc = true
+		body := []lang.Stmt{g.assignConst(len(g.names) - 1)} // locals start defined
+		budget := c.Stmts
+		for budget > 0 {
+			body = append(body, g.seq(&budget, c.MaxDepth, loopCtx{})...)
+		}
+		g.inProc = false
+		procs[i] = &lang.ProcDecl{Name: fmt.Sprintf("p%d", i), Params: params, Body: body}
+	}
+
+	mains := make([]string, c.Vars)
+	for j := range mains {
+		mains[j] = fmt.Sprintf("x%d", j)
+	}
+	g.names = mains
+	var body []lang.Stmt
+	for j := range mains {
+		if g.rng.Intn(3) == 0 {
+			body = append(body, &lang.ReadStmt{Name: mains[j]})
+		} else {
+			body = append(body, g.assignConst(j))
+		}
+	}
+	for _, pd := range procs {
+		for n := g.rng.Intn(3); n > 0; n-- {
+			body = append(body, &lang.AssignStmt{Name: mains[g.randVar()], Value: g.expr()})
+		}
+		perm := g.rng.Perm(c.Vars)
+		args := make([]lang.Expr, len(pd.Params))
+		for j := range args {
+			args[j] = &lang.Ident{Name: mains[perm[j]]}
+		}
+		body = append(body, &lang.CallStmt{Name: pd.Name, Args: args})
+	}
+	for j := range mains {
+		body = append(body, &lang.WriteStmt{Value: &lang.Ident{Name: mains[j]}})
+	}
+	g.names = nil
+
+	src := lang.Format(&lang.Program{Procs: procs, Body: body}, lang.PrintOptions{})
+	return lang.MustParse(src)
+}
+
+// InlineMain inlines every procedure of a MultiProc-shaped program at
+// its unique call site — parameters renamed to the argument
+// variables, labels prefixed per procedure — and returns the inlined
+// program together with the line map from inlined statement lines to
+// original statement lines. Call statements vanish (their line has no
+// image); every other statement maps one-to-one. The program must
+// have the MultiProc shape: calls only at the top level of main, each
+// procedure called exactly once, every argument a distinct plain
+// identifier.
+func InlineMain(p *lang.Program) (*lang.Program, map[int]int, error) {
+	byName := map[string]*lang.ProcDecl{}
+	for _, pd := range p.Procs {
+		byName[pd.Name] = pd
+	}
+	called := map[string]int{}
+	var inlined []lang.Stmt
+	for _, s := range p.Body {
+		call, ok := s.(*lang.CallStmt)
+		if !ok {
+			inlined = append(inlined, s)
+			continue
+		}
+		pd := byName[call.Name]
+		if pd == nil {
+			return nil, nil, fmt.Errorf("progen: call to undeclared procedure %s", call.Name)
+		}
+		if called[call.Name]++; called[call.Name] > 1 {
+			return nil, nil, fmt.Errorf("progen: procedure %s called more than once", call.Name)
+		}
+		ren := map[string]string{}
+		seen := map[string]bool{}
+		for j, a := range call.Args {
+			id, ok := a.(*lang.Ident)
+			if !ok {
+				return nil, nil, fmt.Errorf("progen: argument %d of call %s is not a plain identifier", j, call.Name)
+			}
+			if seen[id.Name] {
+				return nil, nil, fmt.Errorf("progen: call %s repeats argument %s", call.Name, id.Name)
+			}
+			seen[id.Name] = true
+			ren[pd.Params[j]] = id.Name
+		}
+		prefix := "inl_" + pd.Name + "_"
+		for _, bs := range pd.Body {
+			inlined = append(inlined, renameStmt(bs, ren, prefix))
+		}
+	}
+	src := lang.Format(&lang.Program{Body: inlined}, lang.PrintOptions{})
+	q, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("progen: inlined program does not parse: %w", err)
+	}
+	// The inlined body and the reparse have identical statement
+	// structure, so a lockstep walk pairs every statement with its
+	// original and records the line correspondence.
+	lmap := map[int]int{}
+	j := 0
+	for _, s := range p.Body {
+		if call, ok := s.(*lang.CallStmt); ok {
+			for _, bs := range byName[call.Name].Body {
+				if err := zipStmt(bs, q.Body[j], lmap); err != nil {
+					return nil, nil, err
+				}
+				j++
+			}
+			continue
+		}
+		if err := zipStmt(s, q.Body[j], lmap); err != nil {
+			return nil, nil, err
+		}
+		j++
+	}
+	return q, lmap, nil
+}
+
+// renameStmt deep-copies a statement, renaming identifiers through
+// ren (parameter -> argument) and prefixing goto labels.
+func renameStmt(s lang.Stmt, ren map[string]string, prefix string) lang.Stmt {
+	name := func(n string) string {
+		if r, ok := ren[n]; ok {
+			return r
+		}
+		return n
+	}
+	switch s := s.(type) {
+	case *lang.AssignStmt:
+		return &lang.AssignStmt{Name: name(s.Name), Value: renameExpr(s.Value, ren)}
+	case *lang.WriteStmt:
+		return &lang.WriteStmt{Value: renameExpr(s.Value, ren)}
+	case *lang.ReadStmt:
+		return &lang.ReadStmt{Name: name(s.Name)}
+	case *lang.IfStmt:
+		out := &lang.IfStmt{Cond: renameExpr(s.Cond, ren), Then: renameStmt(s.Then, ren, prefix)}
+		if s.Else != nil {
+			out.Else = renameStmt(s.Else, ren, prefix)
+		}
+		return out
+	case *lang.WhileStmt:
+		return &lang.WhileStmt{Cond: renameExpr(s.Cond, ren), Body: renameStmt(s.Body, ren, prefix)}
+	case *lang.SwitchStmt:
+		out := &lang.SwitchStmt{Tag: renameExpr(s.Tag, ren)}
+		for _, c := range s.Cases {
+			nc := &lang.CaseClause{Values: c.Values, IsDefault: c.IsDefault}
+			for _, bs := range c.Body {
+				nc.Body = append(nc.Body, renameStmt(bs, ren, prefix))
+			}
+			out.Cases = append(out.Cases, nc)
+		}
+		return out
+	case *lang.BlockStmt:
+		out := &lang.BlockStmt{}
+		for _, bs := range s.List {
+			out.List = append(out.List, renameStmt(bs, ren, prefix))
+		}
+		return out
+	case *lang.LabeledStmt:
+		return &lang.LabeledStmt{Label: prefix + s.Label, Stmt: renameStmt(s.Stmt, ren, prefix)}
+	case *lang.GotoStmt:
+		return &lang.GotoStmt{Label: prefix + s.Label}
+	case *lang.BreakStmt:
+		return &lang.BreakStmt{}
+	case *lang.ContinueStmt:
+		return &lang.ContinueStmt{}
+	case *lang.ReturnStmt:
+		var v lang.Expr
+		if s.Value != nil {
+			v = renameExpr(s.Value, ren)
+		}
+		return &lang.ReturnStmt{Value: v}
+	case *lang.EmptyStmt:
+		return &lang.EmptyStmt{}
+	}
+	panic(fmt.Sprintf("progen: renameStmt: unexpected %T", s))
+}
+
+// renameExpr deep-copies an expression, renaming identifiers.
+func renameExpr(e lang.Expr, ren map[string]string) lang.Expr {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return &lang.IntLit{Value: e.Value}
+	case *lang.Ident:
+		if r, ok := ren[e.Name]; ok {
+			return &lang.Ident{Name: r}
+		}
+		return &lang.Ident{Name: e.Name}
+	case *lang.UnaryExpr:
+		return &lang.UnaryExpr{Op: e.Op, X: renameExpr(e.X, ren)}
+	case *lang.BinaryExpr:
+		return &lang.BinaryExpr{Op: e.Op, X: renameExpr(e.X, ren), Y: renameExpr(e.Y, ren)}
+	case *lang.CallExpr:
+		out := &lang.CallExpr{Name: e.Name}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, renameExpr(a, ren))
+		}
+		return out
+	}
+	panic(fmt.Sprintf("progen: renameExpr: unexpected %T", e))
+}
+
+// zipStmt walks two structurally identical statements in lockstep and
+// records lmap[inlined line] = original line for every statement and
+// case clause.
+func zipStmt(orig, inl lang.Stmt, lmap map[int]int) error {
+	if fmt.Sprintf("%T", orig) != fmt.Sprintf("%T", inl) {
+		return fmt.Errorf("progen: inlining line map: %T does not match %T", orig, inl)
+	}
+	lmap[inl.Pos().Line] = orig.Pos().Line
+	switch a := orig.(type) {
+	case *lang.LabeledStmt:
+		return zipStmt(a.Stmt, inl.(*lang.LabeledStmt).Stmt, lmap)
+	case *lang.BlockStmt:
+		return zipList(a.List, inl.(*lang.BlockStmt).List, lmap)
+	case *lang.IfStmt:
+		b := inl.(*lang.IfStmt)
+		if err := zipStmt(a.Then, b.Then, lmap); err != nil {
+			return err
+		}
+		if a.Else != nil {
+			return zipStmt(a.Else, b.Else, lmap)
+		}
+	case *lang.WhileStmt:
+		return zipStmt(a.Body, inl.(*lang.WhileStmt).Body, lmap)
+	case *lang.SwitchStmt:
+		b := inl.(*lang.SwitchStmt)
+		if len(a.Cases) != len(b.Cases) {
+			return fmt.Errorf("progen: inlining line map: switch arity mismatch")
+		}
+		for i, c := range a.Cases {
+			lmap[b.Cases[i].P.Line] = c.P.Line
+			if err := zipList(c.Body, b.Cases[i].Body, lmap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func zipList(orig, inl []lang.Stmt, lmap map[int]int) error {
+	if len(orig) != len(inl) {
+		return fmt.Errorf("progen: inlining line map: list length mismatch")
+	}
+	for i := range orig {
+		if err := zipStmt(orig[i], inl[i], lmap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiProcCorpus returns the n-program multi-procedure corpus for a
+// base config (seeds 0..n-1). When dir is non-empty, each program's
+// canonical text is persisted there as multiproc-<seed>-<stmts>-<procs>.mc
+// and reloaded on later runs instead of regenerated — CI caches the
+// directory between jobs, keyed on a hash of the generator source, so
+// the property tests share one corpus across matrix legs. Unreadable
+// or stale cache entries fall back to regeneration.
+func MultiProcCorpus(dir string, n int, c Config) ([]*lang.Program, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*lang.Program, n)
+	for s := 0; s < n; s++ {
+		cc := c.normalized()
+		cc.Seed = int64(s)
+		if dir == "" {
+			out[s] = MultiProc(cc)
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("multiproc-%d-%d-%d.mc", s, cc.Stmts, cc.Procs))
+		if data, err := os.ReadFile(path); err == nil {
+			if p, err := lang.Parse(string(data)); err == nil && len(p.Procs) == cc.Procs {
+				out[s] = p
+				continue
+			}
+		}
+		out[s] = MultiProc(cc)
+		if err := os.WriteFile(path, []byte(lang.Format(out[s], lang.PrintOptions{})), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MainWriteCriteria returns the write criteria of main only — the
+// criteria an interprocedural experiment slices on. (WriteCriteria
+// walks procedure bodies too; MultiProc keeps writes out of
+// procedures, but filtering here keeps the contract explicit.)
+func MainWriteCriteria(p *lang.Program) []struct {
+	Var  string
+	Line int
+} {
+	inProc := map[int]bool{}
+	for _, pd := range p.Procs {
+		for _, s := range pd.Body {
+			markLines(s, inProc)
+		}
+	}
+	var out []struct {
+		Var  string
+		Line int
+	}
+	for _, wc := range WriteCriteria(p) {
+		if !inProc[wc.Line] {
+			out = append(out, wc)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// markLines records every statement line of a subtree.
+func markLines(s lang.Stmt, m map[int]bool) {
+	m[s.Pos().Line] = true
+	switch s := s.(type) {
+	case *lang.LabeledStmt:
+		markLines(s.Stmt, m)
+	case *lang.BlockStmt:
+		for _, bs := range s.List {
+			markLines(bs, m)
+		}
+	case *lang.IfStmt:
+		markLines(s.Then, m)
+		if s.Else != nil {
+			markLines(s.Else, m)
+		}
+	case *lang.WhileStmt:
+		markLines(s.Body, m)
+	case *lang.SwitchStmt:
+		for _, c := range s.Cases {
+			m[c.P.Line] = true
+			for _, bs := range c.Body {
+				markLines(bs, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package progen
+
+import (
+	"testing"
+
+	"jumpslice/internal/lang"
+)
+
+func TestMultiProcDeterministicAndShaped(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := Config{Seed: seed, Stmts: 15, Procs: 3}
+		p := MultiProc(c)
+		q := MultiProc(c)
+		if lang.Format(p, lang.PrintOptions{}) != lang.Format(q, lang.PrintOptions{}) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if len(p.Procs) != 3 {
+			t.Fatalf("seed %d: got %d procs, want 3", seed, len(p.Procs))
+		}
+		// Each procedure is called exactly once from main, with
+		// distinct plain-identifier arguments.
+		calls := map[string]int{}
+		for _, s := range p.Body {
+			call, ok := s.(*lang.CallStmt)
+			if !ok {
+				continue
+			}
+			calls[call.Name]++
+			seen := map[string]bool{}
+			for _, a := range call.Args {
+				id, ok := a.(*lang.Ident)
+				if !ok {
+					t.Fatalf("seed %d: call %s has a non-identifier argument", seed, call.Name)
+				}
+				if seen[id.Name] {
+					t.Fatalf("seed %d: call %s repeats argument %s", seed, call.Name, id.Name)
+				}
+				seen[id.Name] = true
+			}
+		}
+		for _, pd := range p.Procs {
+			if calls[pd.Name] != 1 {
+				t.Fatalf("seed %d: proc %s called %d times, want 1", seed, pd.Name, calls[pd.Name])
+			}
+		}
+		if len(MainWriteCriteria(p)) == 0 {
+			t.Fatalf("seed %d: no main write criteria", seed)
+		}
+	}
+}
+
+func TestInlineMainShapeAndLineMap(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := MultiProc(Config{Seed: seed, Stmts: 15})
+		q, lmap, err := InlineMain(p)
+		if err != nil {
+			t.Fatalf("seed %d: inline: %v", seed, err)
+		}
+		if len(q.Procs) != 0 {
+			t.Fatalf("seed %d: inlined program still declares procedures", seed)
+		}
+		// Every inlined statement line maps to an original statement
+		// line; call lines have no image.
+		callLines := map[int]bool{}
+		for _, s := range p.Body {
+			if call, ok := s.(*lang.CallStmt); ok {
+				callLines[call.P.Line] = true
+			}
+		}
+		inlLines := map[int]bool{}
+		for _, s := range q.Body {
+			markLines(s, inlLines)
+		}
+		for l := range inlLines {
+			ol, ok := lmap[l]
+			if !ok {
+				t.Fatalf("seed %d: inlined line %d unmapped", seed, l)
+			}
+			if callLines[ol] {
+				t.Fatalf("seed %d: inlined line %d maps to call line %d", seed, l, ol)
+			}
+		}
+	}
+}
+
+func TestMultiProcCorpusPersists(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{Stmts: 10, Procs: 2}
+	first, err := MultiProcCorpus(dir, 3, c)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	second, err := MultiProcCorpus(dir, 3, c)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	fresh, err := MultiProcCorpus("", 3, c)
+	if err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	for i := range first {
+		a := lang.Format(first[i], lang.PrintOptions{})
+		b := lang.Format(second[i], lang.PrintOptions{})
+		f := lang.Format(fresh[i], lang.PrintOptions{})
+		if a != b {
+			t.Fatalf("seed %d: cached corpus differs from generated", i)
+		}
+		if a != f {
+			t.Fatalf("seed %d: persisted corpus differs from direct generation", i)
+		}
+	}
+}

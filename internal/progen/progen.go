@@ -31,7 +31,8 @@ type Config struct {
 	// Seed selects the pseudo-random stream; equal configs generate
 	// equal programs.
 	Seed int64
-	// Stmts is the approximate number of statements to generate.
+	// Stmts is the approximate number of statements to generate (per
+	// procedure body for the MultiProc generator).
 	Stmts int
 	// MaxDepth bounds nesting of compound statements (structured
 	// generator only).
@@ -39,6 +40,9 @@ type Config struct {
 	// Vars is the number of distinct data variables (v0..v{n-1});
 	// minimum 2.
 	Vars int
+	// Procs is the number of procedure declarations of a MultiProc
+	// program set; the other generators ignore it.
+	Procs int
 }
 
 func (c Config) normalized() Config {
@@ -50,6 +54,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Vars < 2 {
 		c.Vars = 4
+	}
+	if c.Procs <= 0 {
+		c.Procs = 3
 	}
 	return c
 }
@@ -91,13 +98,32 @@ type generator struct {
 	rng    *rand.Rand
 	loopID int
 	labels int
+	// names, when set, replaces the default v0..v{n-1} variable pool —
+	// the MultiProc generator points it at a procedure's parameters and
+	// locals while generating that body.
+	names []string
+	// inProc marks procedure-body generation: read statements are
+	// illegal there (the parser bans input in procedures) and return
+	// statements are suppressed (a return would complicate the
+	// inlining line map).
+	inProc bool
 }
 
-func (g *generator) varName(i int) string { return fmt.Sprintf("v%d", i) }
+func (g *generator) varName(i int) string {
+	if g.names != nil {
+		return g.names[i]
+	}
+	return fmt.Sprintf("v%d", i)
+}
 
 func (g *generator) varRef(i int) lang.Expr { return &lang.Ident{Name: g.varName(i)} }
 
-func (g *generator) randVar() int { return g.rng.Intn(g.cfg.Vars) }
+func (g *generator) randVar() int {
+	if g.names != nil {
+		return g.rng.Intn(len(g.names))
+	}
+	return g.rng.Intn(g.cfg.Vars)
+}
 
 func (g *generator) assignConst(i int) lang.Stmt {
 	return &lang.AssignStmt{Name: g.varName(i), Value: &lang.IntLit{Value: int64(g.rng.Intn(10))}}
@@ -182,7 +208,7 @@ func (g *generator) stmt(budget *int, depth int, ctx loopCtx) lang.Stmt {
 			jump = &lang.ContinueStmt{}
 		case r == 1 && (ctx.inLoop || ctx.inSwitch):
 			jump = &lang.BreakStmt{}
-		case r == 2 && g.rng.Intn(4) == 0:
+		case r == 2 && !g.inProc && g.rng.Intn(4) == 0:
 			jump = &lang.ReturnStmt{Value: g.varRef(g.randVar())}
 		}
 		if jump != nil {
@@ -258,10 +284,14 @@ func (g *generator) block(budget *int, depth int, ctx loopCtx) lang.Stmt {
 	return &lang.BlockStmt{List: g.seq(budget, depth, ctx)}
 }
 
-// simple generates an assignment, read, or write.
+// simple generates an assignment, read, or write. Procedure bodies
+// get an assignment where main would get a read.
 func (g *generator) simple() lang.Stmt {
 	switch g.rng.Intn(5) {
 	case 0:
+		if g.inProc {
+			return &lang.AssignStmt{Name: g.varName(g.randVar()), Value: g.expr()}
+		}
 		return &lang.ReadStmt{Name: g.varName(g.randVar())}
 	case 1:
 		return &lang.WriteStmt{Value: g.expr()}
