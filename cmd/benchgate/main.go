@@ -32,6 +32,17 @@
 // asserts an incremental one-line re-analysis stays under 5% of the
 // cold pipeline, on whatever hardware CI happens to run.
 //
+// A third artifact joins when a CI run drives a cluster: -sliceload
+// reads a `sliceload -json` report and merges its tail-latency
+// numbers into the output. -gate-p99 and -gate-shed turn them into
+// absolute gates — the run fails when the exact p99 exceeds the given
+// duration or the shed rate exceeds the given fraction. These are
+// fixed ceilings rather than baseline ratios: a load test's contract
+// ("p99 under a second at this request rate, shedding under 5%") is
+// machine-sized by the CI job itself. With -sliceload present, -bench
+// becomes optional — a cluster-smoke job gates on the load report
+// alone.
+//
 // Baselines are maintained with -update: after the gate passes, the
 // baseline file is rewritten with the merged report of the current
 // run, so accepting a new performance floor is one flag on a green
@@ -52,6 +63,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 
 	"jumpslice/internal/obs"
 )
@@ -73,6 +85,42 @@ type Report struct {
 	Phases []Phase `json:"phases,omitempty"`
 	// Ratios are the evaluated -ratio assertions of this run.
 	Ratios []RatioResult `json:"ratios,omitempty"`
+	// Sliceload is the merged load-test summary (-sliceload).
+	Sliceload *SliceloadSummary `json:"sliceload,omitempty"`
+}
+
+// SliceloadSummary is the slice of a `sliceload -json` report the
+// gate consumes: exact tail percentiles and the shed rate.
+type SliceloadSummary struct {
+	Requests int64   `json:"requests"`
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	Latency  struct {
+		Samples int64 `json:"samples"`
+		P50NS   int64 `json:"p50_ns"`
+		P95NS   int64 `json:"p95_ns"`
+		P99NS   int64 `json:"p99_ns"`
+		P999NS  int64 `json:"p999_ns"`
+		MaxNS   int64 `json:"max_ns"`
+	} `json:"latency"`
+}
+
+// GateSliceload applies the absolute tail-latency ceilings to a load
+// report. Zero ceilings skip their gate.
+func GateSliceload(s *SliceloadSummary, maxP99 time.Duration, maxShed float64) []string {
+	var violations []string
+	if s.Latency.Samples == 0 {
+		return []string{"sliceload report has no latency samples"}
+	}
+	if maxP99 > 0 && s.Latency.P99NS > maxP99.Nanoseconds() {
+		violations = append(violations, fmt.Sprintf("p99 %s exceeds -gate-p99 %s",
+			time.Duration(s.Latency.P99NS), maxP99))
+	}
+	if maxShed > 0 && s.ShedRate > maxShed {
+		violations = append(violations, fmt.Sprintf("shed rate %.4f exceeds -gate-shed %.4f",
+			s.ShedRate, maxShed))
+	}
+	return violations
 }
 
 // Benchmark is one `go test -bench` result line.
@@ -182,34 +230,55 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "", "write the merged report here (optional)")
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when PR ns/op exceeds baseline by this factor")
 	update := fs.Bool("update", false, "rewrite -baseline from this run after the gate passes")
+	sliceloadPath := fs.String("sliceload", "", "`sliceload -json` report to merge and gate (optional)")
+	gateP99 := fs.Duration("gate-p99", 0, "fail when the sliceload p99 exceeds this duration (with -sliceload)")
+	gateShed := fs.Float64("gate-shed", 0, "fail when the sliceload shed rate exceeds this fraction (with -sliceload)")
 	var ratios ratioFlags
 	fs.Var(&ratios, "ratio", "`Num:Den:max` — fail when benchmark Num exceeds max × benchmark Den in this run (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *benchPath == "" {
-		return fmt.Errorf("-bench is required")
+	if *benchPath == "" && *sliceloadPath == "" {
+		return fmt.Errorf("one of -bench or -sliceload is required")
 	}
 	if *update && *baselinePath == "" {
 		return fmt.Errorf("-update requires -baseline")
 	}
+	if (*gateP99 > 0 || *gateShed > 0) && *sliceloadPath == "" {
+		return fmt.Errorf("-gate-p99/-gate-shed require -sliceload")
+	}
 
-	f, err := os.Open(*benchPath)
+	report := &Report{}
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		benchmarks, err := ParseBench(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmark result lines found", *benchPath)
+		}
+		report.Benchmarks = benchmarks
+	}
+	var err error
+	report.Ratios, err = GateRatios(report.Benchmarks, ratios)
 	if err != nil {
 		return err
 	}
-	benchmarks, err := ParseBench(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	if len(benchmarks) == 0 {
-		return fmt.Errorf("%s: no benchmark result lines found", *benchPath)
-	}
-	report := &Report{Benchmarks: benchmarks}
-	report.Ratios, err = GateRatios(benchmarks, ratios)
-	if err != nil {
-		return err
+	if *sliceloadPath != "" {
+		data, err := os.ReadFile(*sliceloadPath)
+		if err != nil {
+			return err
+		}
+		var s SliceloadSummary
+		if err := json.Unmarshal(data, &s); err != nil {
+			return fmt.Errorf("%s: %w", *sliceloadPath, err)
+		}
+		report.Sliceload = &s
 	}
 
 	if *metricsPath != "" {
@@ -244,6 +313,24 @@ func run(args []string, out io.Writer) error {
 	}
 	if violated > 0 {
 		return fmt.Errorf("%d ratio gate(s) exceeded", violated)
+	}
+
+	// The sliceload ceilings also fail before -update for the same
+	// reason.
+	if report.Sliceload != nil {
+		s := report.Sliceload
+		fmt.Fprintf(out, "sliceload: %d requests, p99 %s, shed rate %.4f\n",
+			s.Requests, time.Duration(s.Latency.P99NS), s.ShedRate)
+		if *gateP99 > 0 || *gateShed > 0 {
+			violations := GateSliceload(s, *gateP99, *gateShed)
+			for _, v := range violations {
+				fmt.Fprintln(out, "SLICELOAD GATE", v)
+			}
+			if len(violations) > 0 {
+				return fmt.Errorf("%d sliceload gate(s) exceeded", len(violations))
+			}
+			fmt.Fprintln(out, "sliceload gate: ok")
+		}
 	}
 
 	if *baselinePath != "" {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"jumpslice/internal/obs"
 )
@@ -339,5 +340,92 @@ func TestRatioGateEndToEnd(t *testing.T) {
 	sb.Reset()
 	if err := run([]string{"-bench", benchPath, "-ratio", "BenchmarkNope:BenchmarkFigure01:1"}, &sb); err == nil {
 		t.Error("gate on absent benchmark accepted")
+	}
+}
+
+// sliceloadJSON fabricates a `sliceload -json` report with the given
+// tail latency and shed rate.
+func sliceloadJSON(t *testing.T, dir string, p99 time.Duration, shedRate float64) string {
+	t.Helper()
+	report := map[string]any{
+		"requests":  int64(10000),
+		"shed":      int64(float64(10000) * shedRate),
+		"shed_rate": shedRate,
+		"latency": map[string]int64{
+			"samples": 9000,
+			"p50_ns":  (p99 / 10).Nanoseconds(),
+			"p95_ns":  (p99 / 2).Nanoseconds(),
+			"p99_ns":  p99.Nanoseconds(),
+			"p999_ns": (2 * p99).Nanoseconds(),
+			"max_ns":  (3 * p99).Nanoseconds(),
+		},
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sliceload.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSliceloadGate(t *testing.T) {
+	dir := t.TempDir()
+	path := sliceloadJSON(t, dir, 40*time.Millisecond, 0.01)
+
+	// Within both ceilings: passes, merges into -out, no -bench needed.
+	outPath := filepath.Join(dir, "report.json")
+	var sb strings.Builder
+	if err := run([]string{"-sliceload", path, "-gate-p99", "100ms", "-gate-shed", "0.05",
+		"-out", outPath}, &sb); err != nil {
+		t.Fatalf("in-budget load report failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "sliceload gate: ok") {
+		t.Errorf("missing gate confirmation:\n%s", sb.String())
+	}
+	var rep Report
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sliceload == nil || rep.Sliceload.Latency.P99NS != (40*time.Millisecond).Nanoseconds() {
+		t.Fatalf("sliceload summary not merged: %+v", rep.Sliceload)
+	}
+
+	// p99 over the ceiling fails.
+	sb.Reset()
+	if err := run([]string{"-sliceload", path, "-gate-p99", "10ms"}, &sb); err == nil {
+		t.Fatalf("p99 4x over the ceiling passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "SLICELOAD GATE p99") {
+		t.Errorf("missing p99 violation line:\n%s", sb.String())
+	}
+
+	// Shed rate over the ceiling fails.
+	sb.Reset()
+	if err := run([]string{"-sliceload", path, "-gate-shed", "0.005"}, &sb); err == nil {
+		t.Fatalf("shed rate 2x over the ceiling passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "SLICELOAD GATE shed rate") {
+		t.Errorf("missing shed violation line:\n%s", sb.String())
+	}
+
+	// Ceilings without a report to apply them to are an error.
+	if err := run([]string{"-gate-p99", "10ms"}, &sb); err == nil {
+		t.Fatal("-gate-p99 without -sliceload accepted")
+	}
+	// An empty report can't pass a gate silently.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"requests":0,"latency":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-sliceload", empty, "-gate-p99", "10ms"}, &sb); err == nil {
+		t.Fatalf("sample-free report passed the gate:\n%s", sb.String())
 	}
 }

@@ -9,6 +9,7 @@
 //	slicebench -exp dynamic     # E6: dynamic vs static slice sizes
 //	slicebench -exp incr        # E7: incremental re-analysis tiers
 //	slicebench -exp sdg         # E8: interprocedural (SDG) slicing
+//	slicebench -exp cluster     # E9: consistent-hash fleet routing
 //	slicebench -exp all
 //
 // Corpus shape is controlled by -seeds and -stmts. Corpus programs
@@ -79,7 +80,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|incr|sdg|all")
+	exp := fs.String("exp", "all", "experiment: precision|soundness|timing|traversals|dynamic|incr|sdg|cluster|all")
 	seeds := fs.Int("seeds", 100, "number of generated programs per corpus")
 	stmts := fs.Int("stmts", 30, "approximate statements per program")
 	parallel := fs.Int("parallel", exps.DefaultParallel(), "worker pool size for corpus evaluation")
@@ -194,6 +195,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			printSDG(out, o, rows)
 			return nil
 		},
+		"cluster": func() error {
+			rows, err := exps.Cluster(o)
+			if err != nil {
+				return err
+			}
+			report.E9 = rows
+			printCluster(out, o, rows)
+			return nil
+		},
 	}
 
 	var order []string
@@ -201,7 +211,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "all":
 		// Wall-clock tables (E3, E7) print after the deterministic ones
 		// so byte-comparing runs only has to strip a suffix.
-		order = []string{"precision", "soundness", "traversals", "dynamic", "timing", "incr", "sdg"}
+		order = []string{"precision", "soundness", "traversals", "dynamic", "cluster", "timing", "incr", "sdg"}
 	default:
 		if steps[*exp] == nil {
 			return fmt.Errorf("unknown experiment %q", *exp)
@@ -342,6 +352,18 @@ func printSDG(out io.Writer, o exps.Options, rows []exps.SDGRow) {
 			time.Duration(r.MeanColdNs).Round(time.Microsecond),
 			time.Duration(r.MeanWarmNs).Round(time.Microsecond))
 	}
+}
+
+func printCluster(out io.Writer, o exps.Options, rows []exps.ClusterRow) {
+	fmt.Fprintf(out, "\nE9: consistent-hash fleet routing over %d content-addressed programs\n", o.Seeds)
+	fmt.Fprintf(out, "%6s %8s %9s %10s %10s %12s\n",
+		"nodes", "keys", "balance", "remote", "hot node", "moved/leave")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%6d %8d %9.3f %9.1f%% %9.1f%% %11.1f%%\n",
+			r.Nodes, r.Keys, r.Balance, 100*r.RemoteRate, 100*r.HotShare, 100*r.MovedOnLeave)
+	}
+	fmt.Fprintln(out, "(remote = requests a random-ingress node must proxy or peer-fill; consistent")
+	fmt.Fprintln(out, " hashing keeps moved/leave near 1/n where rehashing would move (n-1)/n)")
 }
 
 func printTiming(out io.Writer, rows []exps.TimingRow) {

@@ -59,6 +59,14 @@
 //	                    resident segments and bytes, enqueue/write/
 //	                    drop counters, and the active segment pointer
 //	                    ({"enabled":false} when -spool-dir is unset).
+//	GET  /debug/cluster the cluster's membership and tier view: ring
+//	                    nodes, per-peer health, and result/disk tier
+//	                    occupancy ({"enabled":false} when neither
+//	                    -peers nor -disk-dir is set).
+//	GET  /internal/fill peer cache-fill protocol (?key= names a
+//	                    serialized result record by hex address); for
+//	                    node-to-node use, answering 404 on a local
+//	                    miss — peers fall back to computing.
 //	GET  /healthz       liveness probe; reports the build revision.
 //
 // The access log emits one line per request (-log-format text or
@@ -85,6 +93,24 @@
 // events, SLO snapshot, goroutine dump, build info, spool pointer) an
 // operator can attach to an incident. See postmortem.go for the
 // bundle schema.
+//
+// # Clustering
+//
+// -peers turns the daemon into one node of a static fleet (the flag
+// is the full membership, identical on every node; -self names this
+// node's entry, defaulting to -addr). Requests are routed by the
+// program's SHA-256 content address over a consistent-hash ring
+// (-vnodes virtual nodes per node): a request landing on a non-owner
+// is proxied to the owner, and an owner's local miss first tries a
+// one-hop peer fill (-fill-timeout per hop) before computing.
+// X-Sliced-Node, X-Sliced-Route (local, proxied, peer-fill) and
+// X-Sliced-Peer on every response say who served it and how; health
+// probes (-probe-interval) gate hops, never ownership, so a dead
+// peer degrades to local computation. -disk-dir adds a disk-backed
+// result tier (-disk-bytes budget; -result-bytes bounds the
+// in-memory record cache) so a restarted node serves its prior
+// results as X-Cache: disk without recomputing. See internal/cluster
+// and internal/slicecache/disk.
 //
 // Every request gets a monotonically increasing ID, echoed in the
 // X-Request-ID response header and stamped on its trace events, so a
@@ -160,11 +186,13 @@ import (
 	"syscall"
 	"time"
 
+	"jumpslice/internal/cluster"
 	"jumpslice/internal/core"
 	"jumpslice/internal/lang"
 	"jumpslice/internal/obs"
 	"jumpslice/internal/obs/spool"
 	"jumpslice/internal/slicecache"
+	"jumpslice/internal/slicecache/disk"
 )
 
 func main() {
@@ -186,7 +214,28 @@ func main() {
 	flag.StringVar(&cfg.SpoolDir, "spool-dir", cfg.SpoolDir, "durable telemetry spool directory (empty disables)")
 	flag.Int64Var(&cfg.SpoolBytes, "spool-bytes", cfg.SpoolBytes, "spool disk budget in bytes (oldest segments reclaimed)")
 	flag.StringVar(&cfg.PostmortemDir, "postmortem-dir", cfg.PostmortemDir, "post-mortem bundle directory for SIGUSR1/panic/fatal-exit snapshots (empty disables)")
+	peers := flag.String("peers", "", "comma-separated host:port list of every node in the fleet, self included (empty disables clustering)")
+	flag.StringVar(&cfg.Self, "self", cfg.Self, "this node's address as it appears in -peers (defaults to -addr)")
+	flag.IntVar(&cfg.Vnodes, "vnodes", cfg.Vnodes, "consistent-hash virtual nodes per node")
+	flag.DurationVar(&cfg.ProbeInterval, "probe-interval", cfg.ProbeInterval, "peer health probe cadence")
+	flag.DurationVar(&cfg.ProbeTimeout, "probe-timeout", cfg.ProbeTimeout, "peer health probe timeout")
+	flag.DurationVar(&cfg.FillTimeout, "fill-timeout", cfg.FillTimeout, "per-hop peer cache fill deadline")
+	flag.IntVar(&cfg.FillCandidates, "fill-candidates", cfg.FillCandidates, "ring-adjacent peers a cache fill tries")
+	flag.StringVar(&cfg.DiskDir, "disk-dir", cfg.DiskDir, "disk-backed result tier directory for warm restarts (empty disables)")
+	flag.Int64Var(&cfg.DiskBytes, "disk-bytes", cfg.DiskBytes, "disk result tier budget in bytes (oldest segments reclaimed)")
+	flag.Int64Var(&cfg.DiskSegment, "disk-segment", cfg.DiskSegment, "disk result tier segment roll size in bytes")
+	flag.Int64Var(&cfg.ResultBytes, "result-bytes", cfg.ResultBytes, "in-memory result record cache budget in bytes")
 	flag.Parse()
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.PeerList = append(cfg.PeerList, p)
+			}
+		}
+		if cfg.Self == "" {
+			cfg.Self = *addr
+		}
+	}
 	obj, err := obs.ParseObjectives(*slo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sliced: -slo:", err)
@@ -237,10 +286,33 @@ type config struct {
 	PostmortemDir string
 	// Failpoints enables the X-Sliced-Fail request header, which
 	// injects failures into the serving path (value "panic" panics
-	// inside the handler, "block" parks the request until released).
-	// It exists for the resilience tests and is never enabled by a
-	// flag; production requests carrying the header are unaffected.
+	// inside the handler, "block" parks the request until released,
+	// "fill-corrupt" makes /internal/fill serve torn records). It
+	// exists for the resilience tests and is never enabled by a flag;
+	// production requests carrying the header are unaffected.
 	Failpoints bool
+	// PeerList is the fleet's full static membership (host:port, self
+	// included) from -peers; empty disables clustering. Self is this
+	// node's own address as it appears in the list (defaults to
+	// -addr).
+	PeerList []string
+	Self     string
+	// Vnodes is the consistent-hash virtual-node count per node;
+	// ProbeInterval/ProbeTimeout drive the peer health prober;
+	// FillTimeout is the per-hop peer-fill deadline and FillCandidates
+	// how many ring-adjacent peers a fill tries.
+	Vnodes         int
+	ProbeInterval  time.Duration
+	ProbeTimeout   time.Duration
+	FillTimeout    time.Duration
+	FillCandidates int
+	// DiskDir enables the disk-backed result tier (warm restarts) when
+	// non-empty; DiskBytes is its budget, DiskSegment the segment roll
+	// size, ResultBytes the in-memory result tier's budget.
+	DiskDir     string
+	DiskBytes   int64
+	DiskSegment int64
+	ResultBytes int64
 }
 
 func defaultConfig() config {
@@ -256,7 +328,15 @@ func defaultConfig() config {
 		SLOWindow:   time.Minute,
 		// Runtime health is cheap (one ReadMemStats per sample) and on
 		// by default; -runtime-sample 0 turns it off.
-		RuntimeSample: 5 * time.Second,
+		RuntimeSample:  5 * time.Second,
+		Vnodes:         cluster.DefaultVnodes,
+		ProbeInterval:  time.Second,
+		ProbeTimeout:   500 * time.Millisecond,
+		FillTimeout:    500 * time.Millisecond,
+		FillCandidates: 2,
+		DiskBytes:      disk.DefaultMaxBytes,
+		DiskSegment:    disk.DefaultSegmentBytes,
+		ResultBytes:    32 << 20,
 	}
 }
 
@@ -290,6 +370,12 @@ func serveOn(ln net.Listener, s *server) error {
 	// indexed even when the listener failed — a clean shutdown must
 	// leave a fully readable spool directory.
 	defer s.spool.Close()
+	if err := s.openCluster(); err != nil {
+		return err
+	}
+	// Stop the prober and seal the disk tier's active segment so the
+	// next boot warm-restarts from a clean record boundary.
+	defer s.closeCluster()
 
 	// SIGUSR1 asks for a post-mortem bundle without stopping the
 	// daemon: the operator's "write down what you know" signal.
@@ -376,6 +462,14 @@ type server struct {
 	// unblock releases requests parked by the "block" failpoint; the
 	// resilience tests close it to let in-flight work finish.
 	unblock chan struct{}
+	// cluster is the routing fabric (nil without -peers); results the
+	// two-tier serialized result cache (nil unless -peers or -disk-dir
+	// enables it); disk the persistent tier under it (nil without
+	// -disk-dir). All are assigned by openCluster before any request
+	// is served.
+	cluster *clusterState
+	results *slicecache.ResultCache
+	disk    *disk.Store
 }
 
 func newServer(cfg config, logw io.Writer) *server {
@@ -458,6 +552,12 @@ func newServer(cfg config, logw io.Writer) *server {
 	}))
 	mux.HandleFunc("/debug/spool", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleSpool,
+	}))
+	mux.HandleFunc("/debug/cluster", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleClusterDebug,
+	}))
+	mux.HandleFunc(cluster.FillPath, s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleFill,
 	}))
 	if cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
@@ -813,6 +913,10 @@ func (s *server) failpoint(w http.ResponseWriter, r *http.Request) (handled bool
 		return false
 	case "panic":
 		panic("injected failure (X-Sliced-Fail: panic)")
+	case "fill-corrupt":
+		// Handled at /internal/fill serve time (and propagated to fill
+		// fetches); the slicing path itself is unaffected.
+		return false
 	case "block":
 		select {
 		case <-s.unblock:
@@ -862,8 +966,24 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	ri.setAlgo(req.Algo)
 	start := time.Now()
 
+	// Cluster placement: a request for a program owned by another node
+	// is proxied there (one hop max), then the local result tiers —
+	// memory, disk, peer fill — get a chance to answer before the
+	// pipeline runs. Every tier is best-effort: any failure falls
+	// through to local compute.
+	if s.routeSlice(ctx, w, r, req) {
+		return
+	}
+	if s.cluster != nil || s.results != nil {
+		w.Header().Set("X-Sliced-Route", "local")
+	}
+	rkey := resultKeyFor(req, explain)
+	if s.serveResult(ctx, w, r, req, rkey, id, start) {
+		return
+	}
+
 	if req.Algo == "sdg" {
-		s.handleSliceSDG(ctx, w, r, req, explain, id, ri, start, tr)
+		s.handleSliceSDG(ctx, w, r, req, explain, rkey, id, ri, start, tr)
 		return
 	}
 
@@ -904,6 +1024,7 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.DurationNS = time.Since(start).Nanoseconds()
 	ri.setSliceLines(len(resp.Lines))
+	s.storeResult(rkey, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -914,7 +1035,7 @@ func (s *server) handleSlice(w http.ResponseWriter, r *http.Request) {
 // + algorithm) already content-addresses every procedure text, so 304
 // revalidation works unchanged. Explain reports the interprocedural
 // edge evidence (call, param-in, param-out, summary) per slice line.
-func (s *server) handleSliceSDG(ctx context.Context, w http.ResponseWriter, r *http.Request, req *sliceRequest, explain bool, id uint64, ri *reqInfo, start time.Time, tr *obs.Tracer) {
+func (s *server) handleSliceSDG(ctx context.Context, w http.ResponseWriter, r *http.Request, req *sliceRequest, explain bool, rkey slicecache.ResultKey, id uint64, ri *reqInfo, start time.Time, tr *obs.Tracer) {
 	prog, err := lang.Parse(req.Source)
 	if err != nil {
 		s.failErr(w, r, "analyze", httpErrorf(http.StatusUnprocessableEntity, "invalid_program", "parse: %v", err))
@@ -957,6 +1078,7 @@ func (s *server) handleSliceSDG(ctx context.Context, w http.ResponseWriter, r *h
 	}
 	resp.DurationNS = time.Since(start).Nanoseconds()
 	ri.setSliceLines(len(resp.Lines))
+	s.storeResult(rkey, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 

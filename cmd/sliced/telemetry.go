@@ -106,7 +106,8 @@ func endpointOf(path string) string {
 	switch path {
 	case "/slice", "/session", "/metrics", "/healthz",
 		"/debug/flight", "/debug/trace", "/debug/cache",
-		"/debug/requests", "/debug/slo", "/debug/build", "/debug/spool":
+		"/debug/requests", "/debug/slo", "/debug/build", "/debug/spool",
+		"/debug/cluster", "/internal/fill":
 		return path
 	}
 	if strings.HasPrefix(path, "/session/") {
@@ -150,6 +151,12 @@ func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := uint64(s.reqID.Add(1))
 		w.Header().Set("X-Request-ID", strconv.FormatUint(id, 10))
+		// In cluster mode every response names the node that serves it;
+		// the proxy path overrides this with the upstream's value, so
+		// the header always names the node that did the work.
+		if s.cluster != nil {
+			w.Header().Set("X-Sliced-Node", s.cluster.self)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ri := &reqInfo{spans: &obs.SpanLog{}}
 		ctx := context.WithValue(r.Context(), reqIDKey, id)
@@ -174,6 +181,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			SliceLines:  ri.sliceLines,
 			Cache:       sw.Header().Get("X-Cache"),
 			Incremental: sw.Header().Get("X-Incremental"),
+			Route:       sw.Header().Get("X-Sliced-Route"),
+			Peer:        sw.Header().Get("X-Sliced-Peer"),
 			Phases:      ri.spans.Spans(),
 		}
 		s.requests.Record(ev)
@@ -212,6 +221,12 @@ func (s *server) logAccess(ev *obs.WideEvent) {
 	if ev.Incremental != "" {
 		fmt.Fprintf(&sb, " incr=%s", ev.Incremental)
 	}
+	if ev.Route != "" {
+		fmt.Fprintf(&sb, " route=%s", ev.Route)
+	}
+	if ev.Peer != "" {
+		fmt.Fprintf(&sb, " peer=%s", ev.Peer)
+	}
 	if ev.Algo != "" {
 		fmt.Fprintf(&sb, " algo=%s", ev.Algo)
 	}
@@ -235,6 +250,8 @@ func (s *server) logAccess(ev *obs.WideEvent) {
 //	?outcome=O    only events that ended that way (one of the
 //	              outcome taxonomy: ok, client_error, error, shed,
 //	              timeout, canceled, panic)
+//	?route=R      only events cluster routing placed that way (one of
+//	              local, proxied, peer-fill)
 //	?n=N          at most the newest N matching events
 func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
@@ -293,6 +310,18 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	route, haveRoute := "", false
+	if vs, present := q["route"]; present {
+		haveRoute = true
+		if len(vs) > 0 {
+			route = vs[0]
+		}
+		if !validRoutes[route] {
+			s.fail(w, r, http.StatusUnprocessableEntity, "invalid_parameter",
+				"parameter route must be one of local|proxied|peer-fill, got %q", route)
+			return
+		}
+	}
 
 	all := s.requests.Events()
 	matched := make([]obs.WideEvent, 0, len(all))
@@ -307,6 +336,9 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if haveOutcome && e.Outcome != outcome {
+			continue
+		}
+		if haveRoute && e.Route != route {
 			continue
 		}
 		matched = append(matched, e)
@@ -328,6 +360,13 @@ func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
 var validOutcomes = map[string]bool{
 	"ok": true, "client_error": true, "error": true, "shed": true,
 	"timeout": true, "canceled": true, "panic": true,
+}
+
+// validRoutes is the closed routing taxonomy cluster mode stamps on
+// wide events (see cluster.go); the ?route= filter validates against
+// it the same way ?outcome= does.
+var validRoutes = map[string]bool{
+	"local": true, "proxied": true, "peer-fill": true,
 }
 
 // handleSpool (GET /debug/spool) reports the durable telemetry

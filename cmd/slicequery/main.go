@@ -29,6 +29,9 @@
 //	-endpoint E           the normalized route ("/slice")
 //	-status N             the exact response status
 //	-outcome O            ok|client_error|error|shed|timeout|canceled|panic
+//	-route R              local|proxied|peer-fill — how a clustered
+//	                      daemon answered (events from an unclustered
+//	                      daemon carry no route and never match)
 //	-min-ms N             at least N milliseconds slow
 //
 // Examples:
@@ -66,6 +69,9 @@ var validOutcomes = map[string]bool{
 	"timeout": true, "canceled": true, "panic": true,
 }
 
+// validRoutes mirrors the clustered daemon's route taxonomy.
+var validRoutes = map[string]bool{"local": true, "proxied": true, "peer-fill": true}
+
 // record is one matching event plus the raw stored bytes it was
 // parsed from (the daemon's exact json.Marshal output).
 type record struct {
@@ -84,6 +90,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		endpoint  = fs.String("endpoint", "", "only events on this normalized endpoint")
 		status    = fs.Int("status", 0, "only events with this exact response status")
 		outcome   = fs.String("outcome", "", "only events with this outcome (ok|client_error|error|shed|timeout|canceled|panic)")
+		route     = fs.String("route", "", "only events answered via this cluster route (local|proxied|peer-fill)")
 		minMS     = fs.Int64("min-ms", 0, "only events at least this many milliseconds slow")
 		topN      = fs.Int("n", 10, "row limit for top and list (0 = unlimited for list)")
 		reqID     = fs.Uint64("id", 0, "request ID for the request command")
@@ -112,10 +119,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *outcome != "" && !validOutcomes[*outcome] {
 		return fail("-outcome must be one of ok|client_error|error|shed|timeout|canceled|panic, got %q", *outcome)
 	}
+	if *route != "" && !validRoutes[*route] {
+		return fail("-route must be one of local|proxied|peer-fill, got %q", *route)
+	}
 	f := spool.Filter{
 		Endpoint: *endpoint,
 		Status:   *status,
 		Outcome:  *outcome,
+		Route:    *route,
 		MinDurNS: *minMS * int64(time.Millisecond),
 		Req:      *reqID,
 	}
@@ -263,6 +274,7 @@ func printSummary(w io.Writer, source string, recs []record) {
 	}
 	minTS, maxTS := recs[0].ev.TimeNS, recs[0].ev.TimeNS
 	outcomes := map[string]int{}
+	routes := map[string]int{}
 	durs := make([]int64, 0, len(recs))
 	type epStat struct {
 		count, errs int
@@ -278,6 +290,9 @@ func printSummary(w io.Writer, source string, recs []record) {
 			maxTS = ev.TimeNS
 		}
 		outcomes[ev.Outcome]++
+		if ev.Route != "" {
+			routes[ev.Route]++
+		}
 		durs = append(durs, ev.DurationNS)
 		st := byEP[ev.Endpoint]
 		if st == nil {
@@ -306,6 +321,26 @@ func printSummary(w io.Writer, source string, recs []record) {
 	for _, name := range names {
 		n := outcomes[name]
 		fmt.Fprintf(w, "  %-12s %7d  %5.1f%%\n", name, n, 100*float64(n)/float64(len(recs)))
+	}
+
+	// Routes appear only for clustered traffic; an unclustered spool
+	// prints no routes section at all.
+	if len(routes) > 0 {
+		fmt.Fprintf(w, "routes:\n")
+		rnames := make([]string, 0, len(routes))
+		for name := range routes {
+			rnames = append(rnames, name)
+		}
+		sort.Slice(rnames, func(i, j int) bool {
+			if routes[rnames[i]] != routes[rnames[j]] {
+				return routes[rnames[i]] > routes[rnames[j]]
+			}
+			return rnames[i] < rnames[j]
+		})
+		for _, name := range rnames {
+			n := routes[name]
+			fmt.Fprintf(w, "  %-12s %7d  %5.1f%%\n", name, n, 100*float64(n)/float64(len(recs)))
+		}
 	}
 
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
@@ -352,8 +387,8 @@ func printTop(w io.Writer, recs []record, n int) {
 	fmt.Fprintf(w, "top %d slowest of %d events:\n", len(sorted), len(recs))
 	for _, rec := range sorted {
 		ev := &rec.ev
-		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s\n",
-			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome)
+		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s%s\n",
+			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome, routeSuffix(ev))
 		if len(ev.Phases) > 0 {
 			parts := make([]string, len(ev.Phases))
 			for i, p := range ev.Phases {
@@ -370,9 +405,23 @@ func printList(w io.Writer, recs []record, n int) {
 	}
 	for i := range recs {
 		ev := &recs[i].ev
-		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s\n",
-			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome)
+		fmt.Fprintf(w, "req=%-8d %s %s %s status=%d dur=%s outcome=%s%s\n",
+			ev.Req, fmtTime(ev.TimeNS), ev.Method, ev.Path, ev.Status, fmtDur(ev.DurationNS), ev.Outcome, routeSuffix(ev))
 	}
+}
+
+// routeSuffix renders the cluster attribution of one event, or
+// nothing for unclustered traffic — the common case stays one line
+// of unchanged width.
+func routeSuffix(ev *obs.WideEvent) string {
+	if ev.Route == "" {
+		return ""
+	}
+	s := " route=" + ev.Route
+	if ev.Peer != "" {
+		s += " peer=" + ev.Peer
+	}
+	return s
 }
 
 func printRequest(w io.Writer, rec *record) {
@@ -391,6 +440,13 @@ func printRequest(w io.Writer, rec *record) {
 	}
 	if ev.Cache != "" || ev.Incremental != "" {
 		fmt.Fprintf(w, "  tiers:    cache=%s incremental=%s\n", ev.Cache, ev.Incremental)
+	}
+	if ev.Route != "" {
+		fmt.Fprintf(w, "  cluster:  route=%s", ev.Route)
+		if ev.Peer != "" {
+			fmt.Fprintf(w, " peer=%s", ev.Peer)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	if len(ev.Phases) > 0 {
 		fmt.Fprintf(w, "  phases:\n")

@@ -250,3 +250,66 @@ func TestDurationSince(t *testing.T) {
 		t.Errorf("duration -since should exclude epoch-era events:\n%s", out)
 	}
 }
+
+// TestRouteFilterAndDisplay covers the cluster attribution fields: a
+// spool of routed traffic filters by -route, breaks routes out in the
+// summary, and carries route/peer onto list lines and the request
+// reconstruction.
+func TestRouteFilterAndDisplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := spool.Open(spool.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		ev := obs.WideEvent{
+			Req: uint64(i), TimeNS: int64(i) * 1_000_000,
+			Method: "POST", Path: "/slice", Endpoint: "/slice",
+			Status: 200, DurationNS: 1_000_000, Outcome: "ok",
+			Route: "local",
+		}
+		switch {
+		case i%3 == 0:
+			ev.Route, ev.Peer = "proxied", "127.0.0.1:9001"
+		case i%3 == 1:
+			ev.Route, ev.Peer = "peer-fill", "127.0.0.1:9002"
+		}
+		if !s.Enqueue(ev) {
+			t.Fatal("enqueue rejected")
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := query(t, "-spool", dir, "-route", "proxied", "-n", "0", "list")
+	if n := strings.Count(out, "req="); n != 3 {
+		t.Errorf("-route proxied matched %d events, want 3:\n%s", n, out)
+	}
+	if !strings.Contains(out, "route=proxied peer=127.0.0.1:9001") {
+		t.Errorf("list line missing route attribution:\n%s", out)
+	}
+
+	out = query(t, "-spool", dir, "summary")
+	if !strings.Contains(out, "routes:") ||
+		!strings.Contains(out, "proxied") || !strings.Contains(out, "peer-fill") {
+		t.Errorf("summary missing routes breakdown:\n%s", out)
+	}
+
+	out = query(t, "-spool", dir, "-id", "1", "request")
+	if !strings.Contains(out, "cluster:  route=peer-fill peer=127.0.0.1:9002") {
+		t.Errorf("request reconstruction missing cluster line:\n%s", out)
+	}
+
+	// An invalid route is rejected, same contract as -outcome.
+	var o, e strings.Builder
+	if code := run([]string{"-spool", dir, "-route", "bogus"}, &o, &e); code == 0 {
+		t.Error("-route bogus accepted")
+	}
+
+	// An unclustered spool prints no routes section.
+	out = query(t, "-spool", makeSpool(t), "summary")
+	if strings.Contains(out, "routes:") {
+		t.Errorf("unclustered summary grew a routes section:\n%s", out)
+	}
+}

@@ -258,6 +258,38 @@ func render(w io.Writer, cur, prev *sample, base string) error {
 			int64(cur.get("jumpslice_spool_dropped_total")))
 	}
 
+	// Cluster health (present when the daemon runs with -peers).
+	if peers := cur.get("jumpslice_cluster_peers"); peers > 0 {
+		fills := cur.get("jumpslice_cluster_fills_total")
+		fillHits := cur.get("jumpslice_cluster_fill_hits_total")
+		fmt.Fprintf(w, "cluster: %d/%d peers up, %d local / %d proxied / %d peer-filled",
+			int64(cur.get("jumpslice_cluster_peers_up")), int64(peers),
+			int64(cur.get("jumpslice_cluster_local_serves_total")),
+			int64(cur.get("jumpslice_cluster_proxied_total")),
+			int64(cur.get("jumpslice_cluster_fill_serves_total")))
+		if fills > 0 {
+			fmt.Fprintf(w, ", fills %.1f%% hit", 100*fillHits/fills)
+		}
+		if corrupt := cur.get("jumpslice_cluster_fill_corrupt_total"); corrupt > 0 {
+			fmt.Fprintf(w, ", %d CORRUPT", int64(corrupt))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Result/disk tiers (present with -peers or -disk-dir).
+	if puts := cur.get("jumpslice_result_puts_total"); puts > 0 || cur.get("jumpslice_disk_entries") > 0 {
+		fmt.Fprintf(w, "results: %s in %d entries memory",
+			humanBytes(cur.get("jumpslice_result_resident_bytes")),
+			int64(cur.get("jumpslice_result_entries")))
+		if segs := cur.get("jumpslice_disk_segments"); segs > 0 {
+			fmt.Fprintf(w, ", disk %s in %d entries over %d segments (%d warm hits)",
+				humanBytes(cur.get("jumpslice_disk_resident_bytes")),
+				int64(cur.get("jumpslice_disk_entries")), int64(segs),
+				int64(cur.get("jumpslice_disk_hits_total")))
+		}
+		fmt.Fprintln(w)
+	}
+
 	// Pipeline totals.
 	fmt.Fprintf(w, "\nslices: %d total, %d requests shed\n",
 		int64(cur.get("jumpslice_core_slices_total")),

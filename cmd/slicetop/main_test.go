@@ -74,6 +74,36 @@ jumpslice_spool_resident_bytes 5242880
 # TYPE jumpslice_http_requests_total counter
 jumpslice_http_requests_total{endpoint="/slice"} 40
 jumpslice_http_requests_total{endpoint="/metrics"} 2
+# TYPE jumpslice_cluster_peers gauge
+jumpslice_cluster_peers 2
+# TYPE jumpslice_cluster_peers_up gauge
+jumpslice_cluster_peers_up 1
+# TYPE jumpslice_cluster_local_serves_total counter
+jumpslice_cluster_local_serves_total 25
+# TYPE jumpslice_cluster_proxied_total counter
+jumpslice_cluster_proxied_total 10
+# TYPE jumpslice_cluster_fill_serves_total counter
+jumpslice_cluster_fill_serves_total 5
+# TYPE jumpslice_cluster_fills_total counter
+jumpslice_cluster_fills_total 8
+# TYPE jumpslice_cluster_fill_hits_total counter
+jumpslice_cluster_fill_hits_total 5
+# TYPE jumpslice_cluster_fill_corrupt_total counter
+jumpslice_cluster_fill_corrupt_total 1
+# TYPE jumpslice_result_puts_total counter
+jumpslice_result_puts_total 12
+# TYPE jumpslice_result_resident_bytes gauge
+jumpslice_result_resident_bytes 2048
+# TYPE jumpslice_result_entries gauge
+jumpslice_result_entries 4
+# TYPE jumpslice_disk_segments gauge
+jumpslice_disk_segments 2
+# TYPE jumpslice_disk_entries gauge
+jumpslice_disk_entries 9
+# TYPE jumpslice_disk_resident_bytes gauge
+jumpslice_disk_resident_bytes 4096
+# TYPE jumpslice_disk_hits_total counter
+jumpslice_disk_hits_total 3
 `
 
 const stubSLO = `{
@@ -126,6 +156,8 @@ func TestOnceSnapshot(t *testing.T) {
 		"12 goroutines on 8 procs",
 		"avg pause 100µs", // 400000/4 ns
 		"spool: 3 segments, 5.0MiB resident, 54 written, 1 dropped",
+		"cluster: 1/2 peers up, 25 local / 10 proxied / 5 peer-filled, fills 62.5% hit, 1 CORRUPT",
+		"results: 2.0KiB in 4 entries memory, disk 4.0KiB in 9 entries over 2 segments (3 warm hits)",
 		"slices: 42 total",
 	} {
 		if !strings.Contains(got, want) {

@@ -1,0 +1,53 @@
+package exps
+
+import "testing"
+
+// TestClusterDeterministicAndSane pins E9's contract: the table is a
+// pure function of (seeds, stmts), and each row's measures live in
+// the ranges consistent hashing promises.
+func TestClusterDeterministicAndSane(t *testing.T) {
+	o := Options{Seeds: 60, Stmts: 20, Parallel: 4}
+	rows, err := Cluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ClusterNodeCounts) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ClusterNodeCounts))
+	}
+	for _, r := range rows {
+		if r.Keys != o.Seeds {
+			t.Fatalf("n=%d keys=%d, want %d", r.Nodes, r.Keys, o.Seeds)
+		}
+		if r.Balance < 1 {
+			t.Fatalf("n=%d balance %v < 1 (max/mean cannot undercut the mean)", r.Nodes, r.Balance)
+		}
+		// Uniform ingress misses the owner (n-1)/n of the time, give or
+		// take sampling noise.
+		want := float64(r.Nodes-1) / float64(r.Nodes)
+		if r.RemoteRate < want-0.05 || r.RemoteRate > want+0.05 {
+			t.Fatalf("n=%d remote rate %v, want about %v", r.Nodes, r.RemoteRate, want)
+		}
+		if r.HotShare <= 0 || r.HotShare > 1 {
+			t.Fatalf("n=%d hot share %v out of range", r.Nodes, r.HotShare)
+		}
+		// One node leaving must move roughly its own keys, never the
+		// 2/n consistency bound.
+		if r.MovedOnLeave > 2/float64(r.Nodes) {
+			t.Fatalf("n=%d moved %v > 2/n on one leave", r.Nodes, r.MovedOnLeave)
+		}
+		if r.MovedOnLeave == 0 {
+			t.Fatalf("n=%d no keys moved when a node left", r.Nodes)
+		}
+	}
+
+	// Determinism across runs and parallelism.
+	again, err := Cluster(Options{Seeds: 60, Stmts: 20, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d differs across parallelism: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"jumpslice/internal/baselines"
+	"jumpslice/internal/cluster"
 	"jumpslice/internal/core"
 	"jumpslice/internal/dynslice"
 	"jumpslice/internal/incremental"
@@ -97,6 +99,7 @@ type Report struct {
 	E6       []DynamicRow   `json:"dynamic,omitempty"`
 	E7       []IncrRow      `json:"incremental,omitempty"`
 	E8       []SDGRow       `json:"sdg,omitempty"`
+	E9       []ClusterRow   `json:"cluster,omitempty"`
 	// Metrics is the recorder snapshot taken after the run, when the
 	// caller attached an Options.Recorder: phase timings, traversal
 	// and jump counters, closure cache statistics.
@@ -210,6 +213,28 @@ type SDGRow struct {
 	MeanRounds  float64 `json:"mean_summary_rounds"`
 	MeanColdNs  float64 `json:"mean_cold_ns"`
 	MeanWarmNs  float64 `json:"mean_warm_ns"`
+}
+
+// ClusterRow is one E9 table row: consistent-hash routing simulated
+// over the content-addressed corpus at one fleet size. The corpus
+// keys are the real SHA-256 program addresses a sliced fleet routes
+// on, and the request stream is zipf-skewed the way repeat slice
+// traffic is; the numbers are deterministic per (seeds, stmts).
+type ClusterRow struct {
+	Nodes int `json:"nodes"`
+	Keys  int `json:"keys"`
+	// Balance is max/mean keys owned per node — 1.0 is a perfect
+	// shard, the ring's vnode count bounds how close it gets.
+	Balance float64 `json:"balance"`
+	// RemoteRate is the fraction of uniformly-ingressed requests whose
+	// owner is another node — each is one proxy (or peer-fill) hop.
+	RemoteRate float64 `json:"remote_rate"`
+	// HotShare is the busiest node's share of the zipf request stream
+	// — how much of the hot head one shard absorbs.
+	HotShare float64 `json:"hot_share"`
+	// MovedOnLeave is the fraction of keys that change owner when one
+	// node leaves; consistent hashing promises about 1/n.
+	MovedOnLeave float64 `json:"moved_on_leave"`
 }
 
 // TimingRow is one E3 table row: mean wall-clock per slice for an
@@ -944,6 +969,97 @@ func Incr(o Options) ([]IncrRow, error) {
 			MeanRatio:  t.ratioSum / n,
 			MeanIncrNs: t.incrNs / n,
 			MeanColdNs: t.coldNs / n,
+		})
+	}
+	return rows, nil
+}
+
+// ClusterNodeCounts are the fleet sizes of the E9 sweep.
+var ClusterNodeCounts = []int{2, 3, 5, 8}
+
+// clusterRequests is the length of the simulated zipf request stream
+// per fleet size.
+const clusterRequests = 20000
+
+// Cluster computes E9: consistent-hash routing over the structured
+// corpus's real content addresses. No daemons run — the experiment
+// exercises internal/cluster's ring exactly as a sliced fleet would
+// (same SHA-256 keys, same vnode count) and measures the shard
+// balance, the remote-hop rate under uniform ingress, the hot shard's
+// share of a zipf-skewed stream, and the churn of one node leaving.
+// Everything is seeded, so the table is identical on every machine.
+func Cluster(o Options) ([]ClusterRow, error) {
+	ctx := o.ctx()
+	// The corpus keys: one content address per generated program, the
+	// very bytes slicecache.KeyOf routes on in production.
+	keys := make([][]byte, o.Seeds)
+	parts, err := runSeeds(ctx, o.Seeds, o.Parallel, func(seed int64) ([]byte, error) {
+		p := progen.Structured(progen.Config{Seed: seed, Stmts: o.Stmts})
+		k := slicecache.KeyOf(lang.Format(p, lang.PrintOptions{}))
+		return k[:], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(keys, parts)
+
+	var rows []ClusterRow
+	for _, n := range ClusterNodeCounts {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%02d:7070", i)
+		}
+		ring := cluster.NewRing(nodes, cluster.DefaultVnodes)
+
+		owners := make([]string, len(keys))
+		perNode := map[string]int{}
+		for i, k := range keys {
+			owners[i] = ring.Owner(k)
+			perNode[owners[i]]++
+		}
+		maxKeys := 0
+		for _, c := range perNode {
+			if c > maxKeys {
+				maxKeys = c
+			}
+		}
+
+		// The zipf stream: rank 0 is the hottest program, ingress is a
+		// uniformly random node (a load balancer without affinity).
+		rng := rand.New(rand.NewSource(int64(n)))
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(keys)-1))
+		remote := 0
+		served := map[string]int{}
+		for i := 0; i < clusterRequests; i++ {
+			owner := owners[int(zipf.Uint64())]
+			served[owner]++
+			if nodes[rng.Intn(n)] != owner {
+				remote++
+			}
+		}
+		hot := 0
+		for _, c := range served {
+			if c > hot {
+				hot = c
+			}
+		}
+
+		// Churn: node 0 leaves, how many keys move?
+		smaller := cluster.NewRing(nodes[1:], cluster.DefaultVnodes)
+		moved := 0
+		for i, k := range keys {
+			if smaller.Owner(k) != owners[i] {
+				moved++
+			}
+		}
+
+		rows = append(rows, ClusterRow{
+			Nodes:        n,
+			Keys:         len(keys),
+			Balance:      float64(maxKeys) * float64(n) / float64(len(keys)),
+			RemoteRate:   float64(remote) / float64(clusterRequests),
+			HotShare:     float64(hot) / float64(clusterRequests),
+			MovedOnLeave: float64(moved) / float64(len(keys)),
 		})
 	}
 	return rows, nil

@@ -213,11 +213,13 @@ type Filter struct {
 	// SinceNS/UntilNS bound TimeNS (inclusive); zero means unbounded.
 	SinceNS int64
 	UntilNS int64
-	// Endpoint, Status, Outcome match exactly when set; MinDurNS is
-	// the minimum duration; Req, when nonzero, selects one request ID.
+	// Endpoint, Status, Outcome, Route match exactly when set;
+	// MinDurNS is the minimum duration; Req, when nonzero, selects one
+	// request ID.
 	Endpoint string
 	Status   int
 	Outcome  string
+	Route    string
 	MinDurNS int64
 	Req      uint64
 }
@@ -255,6 +257,9 @@ func (f *Filter) Match(ev *obs.WideEvent) bool {
 		return false
 	}
 	if f.Outcome != "" && ev.Outcome != f.Outcome {
+		return false
+	}
+	if f.Route != "" && ev.Route != f.Route {
 		return false
 	}
 	if f.MinDurNS != 0 && ev.DurationNS < f.MinDurNS {

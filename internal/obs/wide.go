@@ -99,11 +99,19 @@ type WideEvent struct {
 	Algo       string `json:"algo,omitempty"`
 	Stmts      int    `json:"stmts,omitempty"`
 	SliceLines int    `json:"slice_lines,omitempty"`
-	// Cache is the analysis cache tier ("hit", "miss", "coalesced");
+	// Cache is the cache tier that answered ("hit", "miss",
+	// "coalesced", and in cluster mode "result", "disk", "peer-fill");
 	// Incremental the session reuse tier ("patched", "partial",
 	// "full").
 	Cache       string `json:"cache,omitempty"`
 	Incremental string `json:"incremental,omitempty"`
+	// Route says how cluster routing placed the request: "local"
+	// (served by this node), "proxied" (forwarded to the ring owner),
+	// or "peer-fill" (served locally from a record fetched off a
+	// peer). Empty outside cluster mode. Peer names the other node
+	// involved: the proxy target or the fill source.
+	Route string `json:"route,omitempty"`
+	Peer  string `json:"peer,omitempty"`
 	// Phases are the request's completed pipeline phase durations, in
 	// completion order (empty on cache hits — no pipeline ran).
 	Phases []PhaseDur `json:"phases,omitempty"`

@@ -1,0 +1,100 @@
+package slicecache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"jumpslice/internal/obs"
+	"jumpslice/internal/slicecache/disk"
+)
+
+func resultKeyN(n int) ResultKey {
+	return ResultKeyOf("src", fmt.Sprintf("v%d", n), "10", "hrb", "false")
+}
+
+func TestResultKeyOfSeparatesFields(t *testing.T) {
+	if ResultKeyOf("ab", "c") == ResultKeyOf("a", "bc") {
+		t.Fatal("field boundaries not hashed")
+	}
+	if ResultKeyOf("a", "b") != ResultKeyOf("a", "b") {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestResultCacheMemoryOnly(t *testing.T) {
+	rc := NewResultCache(ResultOptions{MaxBytes: 1 << 20})
+	if _, src := rc.Get(resultKeyN(1)); src != ResultMiss {
+		t.Fatalf("empty cache returned %v", src)
+	}
+	rc.Put(resultKeyN(1), []byte("record-1"))
+	data, src := rc.Get(resultKeyN(1))
+	if src != ResultMemory || string(data) != "record-1" {
+		t.Fatalf("got %q via %v", data, src)
+	}
+}
+
+// Memory evictions demote to disk; a subsequent Get promotes back and
+// reports the disk tier.
+func TestResultCacheEvictionDemotesAndPromotes(t *testing.T) {
+	reg := obs.NewRegistry()
+	store, err := disk.Open(disk.Options{Dir: t.TempDir(), Recorder: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// Budget fits ~3 records of 1000 bytes (+128 overhead each).
+	rc := NewResultCache(ResultOptions{MaxBytes: 3400, Disk: store, Recorder: reg})
+	payload := func(n int) []byte { return bytes.Repeat([]byte{byte(n)}, 1000) }
+	for i := 0; i < 6; i++ {
+		rc.Put(resultKeyN(i), payload(i))
+	}
+	if rc.Contains(resultKeyN(0)) {
+		t.Fatal("oldest record still in memory after budget overrun")
+	}
+	data, src := rc.Get(resultKeyN(0))
+	if src != ResultDisk || !bytes.Equal(data, payload(0)) {
+		t.Fatalf("evicted record came back via %v", src)
+	}
+	if !rc.Contains(resultKeyN(0)) {
+		t.Fatal("disk hit not promoted into memory")
+	}
+	if _, src := rc.Get(resultKeyN(0)); src != ResultMemory {
+		t.Fatalf("promoted record served via %v", src)
+	}
+	if reg.Counter("result.disk_hits").Value() != 1 {
+		t.Fatal("disk hit not counted")
+	}
+	st := rc.ResultStats()
+	if st.Bytes > st.Max {
+		t.Fatalf("memory tier over budget: %+v", st)
+	}
+}
+
+// Write-through means the hot set — not just the evicted part —
+// survives a restart: a fresh ResultCache over a reopened store warm-
+// hits a record that was never evicted from memory.
+func TestResultCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := disk.Open(disk.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewResultCache(ResultOptions{MaxBytes: 1 << 20, Disk: store})
+	rc.Put(resultKeyN(7), []byte("hot-record"))
+	if _, src := rc.Get(resultKeyN(7)); src != ResultMemory {
+		t.Fatal("record should be memory-resident pre-restart")
+	}
+	store.Close()
+
+	store2, err := disk.Open(disk.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	rc2 := NewResultCache(ResultOptions{MaxBytes: 1 << 20, Disk: store2})
+	data, src := rc2.Get(resultKeyN(7))
+	if src != ResultDisk || string(data) != "hot-record" {
+		t.Fatalf("warm restart missed: %q via %v", data, src)
+	}
+}
